@@ -1,0 +1,41 @@
+"""Benchmarks: the ablation exhibits (design-choice sweeps)."""
+
+
+def test_bench_ablation_cache(exhibit_runner):
+    data = exhibit_runner("ablation_cache")
+    for row in data.values():
+        assert row["4MB"] >= row["256MB"] - 1e-9
+
+
+def test_bench_ablation_defrag(exhibit_runner):
+    data = exhibit_runner("ablation_defrag")
+    assert set(data) == {"w91", "w20"}
+
+
+def test_bench_ablation_prefetch(exhibit_runner):
+    data = exhibit_runner("ablation_prefetch")
+    assert set(data) == {"w91", "hm_1"}
+
+
+def test_bench_ablation_cleaning(exhibit_runner):
+    data = exhibit_runner("ablation_cleaning")
+    assert data["12"]["waf"] >= data["40"]["waf"]
+
+
+def test_bench_ablation_multifrontier(exhibit_runner):
+    data = exhibit_runner("ablation_multifrontier")
+    assert data["dual"]["frontier_switches"] > 0
+
+
+def test_bench_taxonomy(exhibit_runner):
+    data = exhibit_runner("taxonomy")
+    assert len(data) == 21
+
+
+def test_bench_ablation_combined(exhibit_runner):
+    data = exhibit_runner("ablation_combined")
+    assert len(data) == 21
+    wins = sum(
+        1 for row in data.values() if row["combined"] <= row["best_single"] + 0.05
+    )
+    assert wins >= 15

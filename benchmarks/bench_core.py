@@ -1,0 +1,141 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These measure the substrate itself (extent-map churn, replay throughput,
+cache operations) rather than a paper exhibit, so regressions in the data
+structures show up even when the exhibit benchmarks are dominated by
+workload generation.
+"""
+
+import random
+
+from repro.cache.lru import LRUCache
+from repro.core.config import LS, LS_CACHE, NOLS, build_translator
+from repro.core.simulator import replay
+from repro.extentmap.extent_map import ExtentMap
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+OPS = 20_000
+
+
+def random_write_trace(n_ops=OPS, space=2_000_000, seed=1):
+    rng = random.Random(seed)
+    return Trace(
+        [
+            IORequest.write(rng.randrange(0, space) // 8 * 8, 8, i * 1e-3)
+            for i in range(n_ops)
+        ],
+        name="bench-writes",
+    )
+
+
+def mixed_trace(n_ops=OPS, space=2_000_000, seed=2):
+    rng = random.Random(seed)
+    requests = []
+    for i in range(n_ops):
+        lba = rng.randrange(0, space) // 8 * 8
+        if rng.random() < 0.5:
+            requests.append(IORequest.write(lba, 8, i * 1e-3))
+        else:
+            requests.append(IORequest.read(lba, 32, i * 1e-3))
+    return Trace(requests, name="bench-mixed")
+
+
+def test_bench_extent_map_random_overwrites(benchmark):
+    rng = random.Random(3)
+    operations = [
+        (rng.randrange(0, 100_000), rng.randrange(1, 64), i * 64)
+        for i in range(OPS)
+    ]
+
+    def run():
+        emap = ExtentMap()
+        for lba, length, pba in operations:
+            emap.map_range(lba, pba, length)
+        return emap
+
+    emap = benchmark(run)
+    assert emap.mapped_extent_count() > 0
+
+
+def test_bench_extent_map_lookup(benchmark):
+    rng = random.Random(4)
+    emap = ExtentMap()
+    for i in range(OPS):
+        emap.map_range(rng.randrange(0, 100_000), i * 64, rng.randrange(1, 64))
+    queries = [(rng.randrange(0, 100_000), 128) for _ in range(OPS)]
+
+    def run():
+        total = 0
+        for lba, length in queries:
+            total += len(emap.lookup(lba, length))
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_bench_replay_nols(benchmark):
+    trace = mixed_trace()
+    result = benchmark(lambda: replay(trace, build_translator(trace, NOLS)))
+    assert result.stats.ops == OPS
+
+
+def test_bench_replay_log_structured(benchmark):
+    trace = mixed_trace()
+    result = benchmark(lambda: replay(trace, build_translator(trace, LS)))
+    assert result.stats.ops == OPS
+
+
+def test_bench_replay_with_selective_cache(benchmark):
+    trace = mixed_trace()
+    result = benchmark(lambda: replay(trace, build_translator(trace, LS_CACHE)))
+    assert result.stats.ops == OPS
+
+
+def test_bench_lru_cache_churn(benchmark):
+    rng = random.Random(5)
+    spans = [(rng.randrange(0, 1_000_000), rng.randrange(1, 64)) for _ in range(OPS)]
+
+    def run():
+        cache = LRUCache(capacity_bytes=4 * 1024 * 1024)
+        hits = 0
+        for pba, length in spans:
+            if cache.contains_range(pba, length):
+                cache.touch_range(pba, length)
+                hits += 1
+            else:
+                cache.insert_range(pba, length)
+        return hits
+
+    assert benchmark(run) >= 0
+
+
+def test_bench_cleaning_translator(benchmark):
+    from repro.core.cleaning import ZonedCleaningTranslator
+    from repro.util.units import mib_to_sectors
+
+    rng = random.Random(6)
+    space = mib_to_sectors(4)
+    requests = [
+        IORequest.write(rng.randrange(0, space - 8) // 8 * 8, 8, i * 1e-3)
+        for i in range(5000)
+    ]
+
+    def run():
+        translator = ZonedCleaningTranslator(
+            frontier_base=space, zone_mib=1.0, n_zones=8, reserve_zones=2
+        )
+        for request in requests:
+            translator.submit(request)
+        return translator
+
+    translator = benchmark(run)
+    assert translator.cleaning_stats.cleanings > 0
+
+
+def test_bench_fast_nols_seek_counts(benchmark):
+    from repro.analysis.fast import nols_seek_counts
+
+    trace = mixed_trace()
+    read_seeks, write_seeks = benchmark(lambda: nols_seek_counts(trace))
+    assert read_seeks + write_seeks > 0

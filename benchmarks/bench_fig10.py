@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 10 (fragment popularity / cache sizing)."""
+
+
+def test_bench_fig10(exhibit_runner):
+    data = exhibit_runner("fig10")
+    assert len(data) == 8
+    for name, row in data.items():
+        assert row["fragments"] > 0, name
+        # Popularity is skewed: half the accesses need less RAM than all.
+        assert row["cache_mib_for_50pct"] <= row["total_mib"], name

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Fig. 11 (SAF under LS and the three techniques).
+
+This is the paper's headline experiment: 21 workloads x 5 replays.
+"""
+
+
+def test_bench_fig11(exhibit_runner):
+    data = exhibit_runner("fig11")
+    assert len(data) == 21
+    for name, row in data.items():
+        safs = row["saf"]
+        assert set(safs) == {"LS", "LS+defrag", "LS+prefetch", "LS+cache"}
+        # Prefetching and caching never worsen SAF (paper §V).
+        assert safs["LS+prefetch"]["total"] <= safs["LS"]["total"] * 1.05, name
+        assert safs["LS+cache"]["total"] <= safs["LS"]["total"] * 1.05, name

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Fig. 2 (NoLS vs LS seek counts)."""
+
+
+def test_bench_fig2(exhibit_runner):
+    data = exhibit_runner("fig2")
+    assert len(data) == 21
+    # Write seeks must collapse under log-structured translation.
+    for name, row in data.items():
+        if row["nols"]["write_seeks"] > 100:
+            assert row["ls"]["write_seeks"] < row["nols"]["write_seeks"] / 5, name

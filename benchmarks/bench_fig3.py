@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 3 (long-seek overhead over time)."""
+
+
+def test_bench_fig3(exhibit_runner):
+    data = exhibit_runner("fig3")
+    assert set(data) == {"usr_1", "web_0", "w91", "w55"}
+    for name, row in data.items():
+        assert row["windows"] > 0
+        assert len(row["series"]) > 0

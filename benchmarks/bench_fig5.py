@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 5 (dynamic-fragmentation CDFs)."""
+
+
+def test_bench_fig5(exhibit_runner):
+    data = exhibit_runner("fig5")
+    assert set(data) == {"usr_0", "hm_1", "w20", "w36"}
+    for name, row in data.items():
+        assert row["fragmented_reads"] > 0, name
+        assert row["fraction_of_fragments_in_top20pct_reads"] >= 0.2, name

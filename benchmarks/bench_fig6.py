@@ -1,0 +1,8 @@
+"""Benchmark: regenerate the Fig. 6 defragmentation walkthrough."""
+
+
+def test_bench_fig6(exhibit_runner):
+    data = exhibit_runner("fig6", scale=1.0)
+    assert data["without_defrag"]["rd_2_5_first"]["read_seeks"] == 4
+    assert data["with_defrag"]["rd_2_5_again"]["read_seeks"] <= 1
+    assert data["with_defrag"]["rd_1_2"]["read_seeks"] == 2

@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 7 (non-sequential write patterns)."""
+
+
+def test_bench_fig7(exhibit_runner):
+    data = exhibit_runner("fig7")
+    assert set(data) == {"hm_1", "w106"}
+    # Both workloads must show visible descending runs in the write stream.
+    for name, row in data.items():
+        assert row["descending_step_fraction_all"] > 0.1, name

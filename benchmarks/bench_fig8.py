@@ -1,0 +1,9 @@
+"""Benchmark: regenerate Fig. 8 (mis-ordered write rates)."""
+
+
+def test_bench_fig8(exhibit_runner):
+    data = exhibit_runner("fig8")
+    assert len(data) == 21
+    # The paper's headline offenders sit near 1-in-20 / 1-in-25.
+    assert data["src2_2"] > 0.01
+    assert data["w106"] > 0.01

@@ -1,0 +1,7 @@
+"""Benchmark: regenerate the Fig. 9 prefetching walkthrough."""
+
+
+def test_bench_fig9(exhibit_runner):
+    data = exhibit_runner("fig9", scale=1.0)
+    assert data["without_prefetch"]["read_seeks"] == 5
+    assert data["with_prefetch"]["read_seeks"] == 3

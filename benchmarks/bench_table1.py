@@ -1,0 +1,8 @@
+"""Benchmark: regenerate Table I (workload characteristics)."""
+
+
+def test_bench_table1(exhibit_runner):
+    data = exhibit_runner("table1")
+    assert len(data) == 21
+    for row in data.values():
+        assert row["synthetic"]["read_count"] >= 0

@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every exhibit benchmark times one full regeneration of its table/figure at
+a reduced workload scale (the shapes are scale-stable; the paper-scale run
+is `python -m repro.experiments all`).  `pedantic` with a single round
+keeps the whole suite to a couple of minutes.
+"""
+
+import pytest
+
+from repro.experiments.registry import run_exhibit
+
+BENCH_SCALE = 0.2
+BENCH_SEED = 42
+
+
+@pytest.fixture
+def exhibit_runner(benchmark):
+    """Return a callable that benchmarks one exhibit and returns its data."""
+
+    def run(name: str, scale: float = BENCH_SCALE):
+        return benchmark.pedantic(
+            run_exhibit,
+            args=(name,),
+            kwargs={"seed": BENCH_SEED, "scale": scale, "out_dir": None},
+            rounds=1,
+            iterations=1,
+        )
+
+    return run

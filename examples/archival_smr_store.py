@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Archival SMR store: log-structured translation vs media-cache STL.
+
+The paper's closing argument (§I): archival systems accumulate data and
+rarely modify it, so a log-structured translation layer never needs to
+clean — and with the seek-reduction techniques, the SMR capacity advantage
+comes with essentially no performance penalty.  The shipped alternative, a
+media-cache STL, keeps data in LBA order but pays heavy cleaning traffic.
+
+This example replays an accumulate-then-read archival workload through
+both designs and reports seeks, write amplification, and estimated service
+time from the §III seek-cost model.
+
+Run:  python examples/archival_smr_store.py
+"""
+
+from repro import LS, LS_CACHE, NOLS, build_translator, replay
+from repro.core.recorders import SeekLogRecorder
+from repro.disk.media_cache import MediaCacheSTL
+from repro.disk.seek_time import SeekTimeModel
+from repro.workloads import ReadMix, WorkloadSpec, WriteMix, generate_workload
+
+
+def archival_spec() -> WorkloadSpec:
+    """Ingest-heavy early phases, read-heavy later phases (decay 0.25)."""
+    return WorkloadSpec(
+        name="archive",
+        family="cloudphysics",
+        total_ops=20_000,
+        read_fraction=0.5,
+        mean_read_kib=64.0,
+        mean_write_kib=64.0,
+        working_set_mib=512,
+        hot_mib=48,
+        write_mix=WriteMix(random=0.2, hot_overwrite=0.3, sequential=0.5),
+        read_mix=ReadMix(scan=0.5, random=0.2, hot=0.2, replay=0.1),
+        phases=6,
+        write_phase_decay=0.25,
+    )
+
+
+def estimated_seek_ms(trace, config) -> float:
+    recorder = SeekLogRecorder()
+    replay(trace, build_translator(trace, config), [recorder])
+    return SeekTimeModel().total_ms(recorder.distances)
+
+
+def main() -> None:
+    trace = generate_workload(archival_spec(), seed=11)
+    print(f"archival workload: {len(trace)} ops, "
+          f"{trace.write_count} writes then mostly reads\n")
+
+    baseline = replay(trace, build_translator(trace, NOLS))
+    ls = replay(trace, build_translator(trace, LS))
+    cached = replay(trace, build_translator(trace, LS_CACHE))
+
+    media_cache = MediaCacheSTL(data_sectors=trace.max_end, cache_mib=16)
+    media_cache.replay(trace)
+
+    print(f"{'design':28} {'total seeks':>11} {'WAF':>6}")
+    print(f"{'conventional CMR (no SMR)':28} {baseline.stats.total_seeks:>11} {1.0:>6.2f}")
+    print(f"{'media-cache STL':28} {media_cache.stats.total_seeks:>11} "
+          f"{media_cache.stats.write_amplification:>6.2f}")
+    print(f"{'log-structured STL':28} {ls.stats.total_seeks:>11} {1.0:>6.2f}")
+    print(f"{'log-structured + 64MB cache':28} {cached.stats.total_seeks:>11} {1.0:>6.2f}")
+
+    print(f"\nmedia-cache cleaning passes: {media_cache.stats.cleanings} "
+          f"({media_cache.stats.cleaning_seeks} cleaning seeks)")
+
+    print("\nestimated seek time (s), §III cost model:")
+    for label, config in (("NoLS", NOLS), ("LS", LS), ("LS+cache", LS_CACHE)):
+        print(f"  {label:10} {estimated_seek_ms(trace, config) / 1000:.2f}")
+
+    print(
+        "\nReading: the media-cache design avoids read-seek amplification\n"
+        "but rewrites every byte at least twice (WAF ~2); the log-\n"
+        "structured design never cleans, and with selective caching its\n"
+        "seek count approaches (or beats) the conventional drive — the\n"
+        "paper's 'SMR without the performance penalty' conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

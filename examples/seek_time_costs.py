@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Seek counts vs seek time: the §III cost structure, quantified.
+
+The paper counts seeks but motivates them by cost: short backward hops
+(missed rotations) cost a full platter revolution, short forward skips
+almost nothing, long seeks head travel plus half a revolution.  This
+example replays a workload under each configuration, weighs the resulting
+seek logs with both the distance-bucketed SeekTimeModel and the exact
+angular model, and reports the time amplification factor (TAF) next to
+the paper's SAF — showing that prefetching looks *better* under time than
+under counts (it specifically removes the most expensive hops).
+
+Run:  python examples/seek_time_costs.py
+"""
+
+from repro import (
+    NOLS,
+    PAPER_CONFIGS,
+    build_translator,
+    replay,
+    seek_amplification,
+    synthesize_workload,
+)
+from repro.core.metrics import time_amplification
+from repro.core.recorders import SeekLogRecorder
+from repro.disk.angular import AngularSeekModel
+from repro.disk.seek_time import SeekTimeModel
+
+
+def main() -> None:
+    trace = synthesize_workload("w95", seed=42)
+    print(f"workload: {trace.name} ({len(trace)} ops; heavy mis-ordered writes)\n")
+
+    baseline_rec = SeekLogRecorder()
+    baseline = replay(trace, build_translator(trace, NOLS), [baseline_rec])
+    model = SeekTimeModel()
+    angular = AngularSeekModel()
+
+    print(f"{'config':14} {'seeks':>7} {'SAF':>6} {'TAF':>6} "
+          f"{'missed rotations':>17}")
+    base_seeks = baseline.stats.total_seeks
+    for config in PAPER_CONFIGS:
+        recorder = SeekLogRecorder()
+        result = replay(trace, build_translator(trace, config), [recorder])
+        saf = seek_amplification(result.stats, baseline.stats).total
+        taf = time_amplification(recorder.distances, baseline_rec.distances, model)
+        missed = sum(
+            1
+            for d in recorder.distances
+            if d < 0 and -d <= model.geometry.track_sectors
+        )
+        print(
+            f"{config.name:14} {result.stats.total_seeks:>7} "
+            f"{saf:>6.2f} {taf:>6.2f} {missed:>17}"
+        )
+    print(f"{'NoLS (base)':14} {base_seeks:>7} {1.0:>6.2f} {1.0:>6.2f}")
+
+    print(
+        f"\nmissed-rotation cost (exact angular model): "
+        f"{angular.missed_rotation_ms():.1f} ms "
+        f"vs {model.geometry.transfer_ms(100):.2f} ms for a short forward skip"
+    )
+    print(
+        "\nReading: plain LS turns the mis-ordered write pattern into\n"
+        "backward read hops, so its TAF exceeds its SAF; look-ahead-behind\n"
+        "prefetching removes precisely those hops, making its advantage\n"
+        "larger in time than in counts — the §IV-B argument, measured."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Workload and replay analyses behind the paper's characterization figures.
+
+Each module maps to one analytical lens:
+
+* :mod:`repro.analysis.distances` — seek/access-distance CDFs (Fig. 4).
+* :mod:`repro.analysis.temporal` — windowed long-seek differencing (Fig. 3).
+* :mod:`repro.analysis.fragmentation` — dynamic-fragmentation CDFs and
+  concentration curves (Fig. 5).
+* :mod:`repro.analysis.misorder` — mis-ordered-write detection (Fig. 8).
+* :mod:`repro.analysis.popularity` — fragment access popularity and the
+  cumulative cache-size curve (Fig. 10).
+"""
+
+from repro.analysis.distances import distance_cdf, clip_distances
+from repro.analysis.temporal import WindowedSeekRecorder, long_seek_difference
+from repro.analysis.fragmentation import (
+    fragment_cdf,
+    fragment_concentration,
+    fraction_of_fragments_in_top_reads,
+    static_fragmentation_series,
+)
+from repro.analysis.misorder import misordered_writes, misorder_rate
+from repro.analysis.popularity import (
+    FragmentPopularityRecorder,
+    PopularityCurve,
+)
+from repro.analysis.service import ServiceTimeEstimate, estimate_service_time
+from repro.analysis.classify import (
+    LogSensitivity,
+    WorkloadCharacter,
+    characterize,
+    classify_saf,
+    classify_stats,
+)
+
+__all__ = [
+    "distance_cdf",
+    "clip_distances",
+    "WindowedSeekRecorder",
+    "long_seek_difference",
+    "fragment_cdf",
+    "fragment_concentration",
+    "fraction_of_fragments_in_top_reads",
+    "static_fragmentation_series",
+    "misordered_writes",
+    "misorder_rate",
+    "FragmentPopularityRecorder",
+    "PopularityCurve",
+    "LogSensitivity",
+    "WorkloadCharacter",
+    "characterize",
+    "classify_saf",
+    "classify_stats",
+    "ServiceTimeEstimate",
+    "estimate_service_time",
+]

@@ -1,0 +1,94 @@
+"""Vectorized (numpy) fast paths for trace-level analyses.
+
+The reference implementations in this package are plain Python and easy
+to audit; replaying multi-million-op traces (e.g. the real MSR files)
+makes the O(n) Python loops noticeable.  This module provides numpy
+equivalents for the analyses that need no translation state — baseline
+(NoLS) seek counting and seek distances — with tests asserting exact
+agreement with the reference path.
+
+The log-structured replay itself is stateful (extent map, caches) and
+stays in Python.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.trace.record import OpType
+from repro.trace.trace import Trace
+from repro.util.units import kib_to_sectors
+
+
+def trace_arrays(trace: Trace) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decompose a trace into (is_read, lba, length) numpy arrays."""
+    n = len(trace)
+    is_read = np.empty(n, dtype=bool)
+    lba = np.empty(n, dtype=np.int64)
+    length = np.empty(n, dtype=np.int64)
+    for i, request in enumerate(trace):
+        is_read[i] = request.is_read
+        lba[i] = request.lba
+        length[i] = request.length
+    return is_read, lba, length
+
+
+def nols_seek_counts(trace: Trace) -> Tuple[int, int]:
+    """(read_seeks, write_seeks) of the conventional in-place replay.
+
+    Vectorized restatement of the §II definition: op *i* seeks iff its LBA
+    differs from op *i-1*'s end; the first op never seeks.  Agrees exactly
+    with replaying through :class:`InPlaceTranslator` (property-tested).
+    """
+    if len(trace) == 0:
+        return 0, 0
+    is_read, lba, length = trace_arrays(trace)
+    prev_end = lba[:-1] + length[:-1]
+    seeks = lba[1:] != prev_end
+    read_seeks = int(np.count_nonzero(seeks & is_read[1:]))
+    write_seeks = int(np.count_nonzero(seeks & ~is_read[1:]))
+    return read_seeks, write_seeks
+
+
+def nols_seek_distances(trace: Trace) -> np.ndarray:
+    """Signed distances of the baseline replay's seeks, in op order."""
+    if len(trace) < 2:
+        return np.empty(0, dtype=np.int64)
+    _, lba, length = trace_arrays(trace)
+    deltas = lba[1:] - (lba[:-1] + length[:-1])
+    return deltas[deltas != 0]
+
+
+def misorder_rate_fast(trace: Trace, horizon_kib: float = 256.0) -> float:
+    """Vectorized Fig. 8 mis-ordered-write rate.
+
+    For each write *i*, scans the following writes until the cumulative
+    written volume passes the horizon, looking for one that ends exactly
+    at *i*'s LBA.  Uses prefix sums so the per-write window is found in
+    O(log n); the inner membership test is a searchsorted over the window
+    slice.  Agrees exactly with :func:`repro.analysis.misorder.misorder_rate`.
+    """
+    if horizon_kib <= 0:
+        raise ValueError(f"horizon_kib must be > 0, got {horizon_kib}")
+    writes = [r for r in trace if r.op is OpType.WRITE]
+    n = len(writes)
+    if n == 0:
+        return 0.0
+    lba = np.fromiter((w.lba for w in writes), dtype=np.int64, count=n)
+    length = np.fromiter((w.length for w in writes), dtype=np.int64, count=n)
+    ends = lba + length
+    horizon = kib_to_sectors(horizon_kib)
+    # volume[i] = sectors written by writes 0..i-1
+    volume = np.concatenate(([0], np.cumsum(length)))
+    flagged = 0
+    # For write i the window is writes j in (i, k) where the cumulative
+    # volume of writes i+1..j-1 stays below the horizon.
+    for i in range(n):
+        # find largest k with volume[k] - volume[i+1] < horizon
+        k = int(np.searchsorted(volume, volume[i + 1] + horizon, side="left"))
+        window = ends[i + 1 : max(i + 1, k)]
+        if window.size and np.any(window == lba[i]):
+            flagged += 1
+    return flagged / n

@@ -1,0 +1,76 @@
+"""Temporal seek behaviour (paper Fig. 3).
+
+Fig. 3 plots, per unit of operation time, the *difference* in long-seek
+counts between the log-structured replay and the original trace
+(log-structured minus original), ignoring seeks shorter than ±500 KB whose
+behaviour is much noisier.  The strong phase/diurnal structure it reveals
+motivates why averaged SAF understates worst-case behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.outcomes import IOOutcome
+from repro.util.units import kib_to_sectors
+
+
+class WindowedSeekRecorder:
+    """Count long seeks per fixed-size window of operation index.
+
+    Args:
+        window_ops: Operations per window (the unit of "time" on the Fig. 3
+            x-axis, which the paper plots as operation number).
+        min_seek_kib: Ignore seeks with \\|distance\\| below this (paper: 500 KB).
+    """
+
+    def __init__(self, window_ops: int = 1000, min_seek_kib: float = 500.0) -> None:
+        if window_ops <= 0:
+            raise ValueError(f"window_ops must be > 0, got {window_ops}")
+        if min_seek_kib < 0:
+            raise ValueError(f"min_seek_kib must be >= 0, got {min_seek_kib}")
+        self._window_ops = window_ops
+        self._threshold = kib_to_sectors(min_seek_kib)
+        self._counts: Dict[int, int] = {}
+        self._max_window = -1
+
+    @property
+    def window_ops(self) -> int:
+        return self._window_ops
+
+    def observe(self, op_index: int, outcome: IOOutcome) -> None:
+        window = op_index // self._window_ops
+        if window > self._max_window:
+            self._max_window = window
+        long_seeks = sum(
+            1
+            for access in outcome.accesses
+            if access.seek and abs(access.distance) >= self._threshold
+        )
+        if long_seeks:
+            self._counts[window] = self._counts.get(window, 0) + long_seeks
+
+    def series(self) -> List[int]:
+        """Dense per-window long-seek counts (index = window number)."""
+        return [self._counts.get(w, 0) for w in range(self._max_window + 1)]
+
+
+def long_seek_difference(
+    translated: WindowedSeekRecorder,
+    baseline: WindowedSeekRecorder,
+) -> List[int]:
+    """Fig. 3 series: per-window long seeks, translated minus baseline.
+
+    Both recorders must have observed the same trace with the same window
+    size.  The shorter series is zero-padded (a replay can end mid-window).
+    """
+    if translated.window_ops != baseline.window_ops:
+        raise ValueError(
+            f"window sizes differ: {translated.window_ops} vs {baseline.window_ops}"
+        )
+    a = translated.series()
+    b = baseline.series()
+    n = max(len(a), len(b))
+    a += [0] * (n - len(a))
+    b += [0] * (n - len(b))
+    return [x - y for x, y in zip(a, b)]

@@ -1,0 +1,9 @@
+"""Caching substrate: the byte-budgeted LRU used by translation-aware
+selective caching (Algorithm 3) and the FIFO window buffer used by
+look-ahead-behind prefetching (Algorithm 2).
+"""
+
+from repro.cache.lru import LRUCache
+from repro.cache.prefetch_buffer import PrefetchBuffer
+
+__all__ = ["LRUCache", "PrefetchBuffer"]

@@ -1,0 +1,107 @@
+"""Byte-budgeted, block-granular LRU cache.
+
+Translation-aware selective caching (Algorithm 3) caches the data returned
+by fragmented reads in a small RAM cache (64 MB in the paper's evaluation)
+with LRU eviction.  We cache at fixed block granularity: a physical range
+is a *hit* only when every block covering it is resident — the same
+hit/miss semantics as caching whole fragments, with simpler bookkeeping
+(see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.util.units import SECTOR_BYTES
+
+
+class LRUCache:
+    """LRU set of fixed-size blocks keyed by block index, bounded in bytes.
+
+    Args:
+        capacity_bytes: Total budget; at least one block.
+        block_sectors: Block size in sectors (default 8 = 4 KiB).
+    """
+
+    def __init__(self, capacity_bytes: int, block_sectors: int = 8) -> None:
+        if block_sectors <= 0:
+            raise ValueError(f"block_sectors must be > 0, got {block_sectors}")
+        block_bytes = block_sectors * SECTOR_BYTES
+        if capacity_bytes < block_bytes:
+            raise ValueError(
+                f"capacity_bytes {capacity_bytes} below one block ({block_bytes})"
+            )
+        self._block_sectors = block_sectors
+        self._capacity_blocks = capacity_bytes // block_bytes
+        self._blocks: "OrderedDict[int, None]" = OrderedDict()
+        self.evictions = 0
+
+    @property
+    def block_sectors(self) -> int:
+        return self._block_sectors
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self._capacity_blocks
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity_blocks * self._block_sectors * SECTOR_BYTES
+
+    @property
+    def used_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def used_bytes(self) -> int:
+        return len(self._blocks) * self._block_sectors * SECTOR_BYTES
+
+    def _block_range(self, pba: int, length: int) -> range:
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        if pba < 0:
+            raise ValueError(f"pba must be >= 0, got {pba}")
+        first = pba // self._block_sectors
+        last = (pba + length - 1) // self._block_sectors
+        return range(first, last + 1)
+
+    def contains_range(self, pba: int, length: int) -> bool:
+        """True if every block covering ``[pba, pba+length)`` is resident.
+
+        Does not update recency — pair with :meth:`touch_range` on a hit.
+        """
+        return all(block in self._blocks for block in self._block_range(pba, length))
+
+    def touch_range(self, pba: int, length: int) -> None:
+        """Mark the blocks covering the range most-recently-used."""
+        for block in self._block_range(pba, length):
+            if block in self._blocks:
+                self._blocks.move_to_end(block)
+
+    def insert_range(self, pba: int, length: int) -> None:
+        """Insert (or refresh) the blocks covering the range, evicting LRU
+        blocks as needed to stay within budget."""
+        for block in self._block_range(pba, length):
+            if block in self._blocks:
+                self._blocks.move_to_end(block)
+            else:
+                self._blocks[block] = None
+        while len(self._blocks) > self._capacity_blocks:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate_range(self, pba: int, length: int) -> None:
+        """Drop any resident blocks covering the range."""
+        for block in self._block_range(pba, length):
+            self._blocks.pop(block, None)
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __iter__(self) -> Iterator[int]:
+        """Iterate resident block indices from least to most recently used."""
+        return iter(self._blocks)

@@ -1,0 +1,76 @@
+"""Technique bundles and translator factories.
+
+The evaluation compares four configurations per workload (Fig. 11): plain
+LS, LS + opportunistic defrag, LS + look-ahead-behind prefetch, and LS +
+selective caching.  :class:`TechniqueConfig` names one such bundle;
+:func:`build_translator` constructs a fresh translator for a trace; and
+:data:`PAPER_CONFIGS` is the Fig. 11 line-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.defrag import DefragConfig, OpportunisticDefrag
+from repro.core.prefetch import LookAheadBehindPrefetcher, PrefetchConfig
+from repro.core.selective_cache import SelectiveCacheConfig, SelectiveFragmentCache
+from repro.core.translators import InPlaceTranslator, LogStructuredTranslator, Translator
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class TechniqueConfig:
+    """One translator configuration for the evaluation matrix.
+
+    Attributes:
+        name: Report label (``"NoLS"``, ``"LS"``, ``"LS+defrag"`` …).
+        log_structured: False for the in-place baseline.
+        defrag: Opportunistic-defrag settings, or None to disable.
+        prefetch: Look-ahead-behind settings, or None to disable.
+        cache: Selective-cache settings, or None to disable.
+    """
+
+    name: str
+    log_structured: bool = True
+    defrag: Optional[DefragConfig] = None
+    prefetch: Optional[PrefetchConfig] = None
+    cache: Optional[SelectiveCacheConfig] = None
+
+
+NOLS = TechniqueConfig(name="NoLS", log_structured=False)
+LS = TechniqueConfig(name="LS")
+LS_DEFRAG = TechniqueConfig(name="LS+defrag", defrag=DefragConfig())
+LS_PREFETCH = TechniqueConfig(name="LS+prefetch", prefetch=PrefetchConfig())
+LS_CACHE = TechniqueConfig(name="LS+cache", cache=SelectiveCacheConfig(capacity_mib=64.0))
+
+PAPER_CONFIGS: Tuple[TechniqueConfig, ...] = (LS, LS_DEFRAG, LS_PREFETCH, LS_CACHE)
+"""The four bars of Fig. 11, in the paper's left-to-right order."""
+
+LS_ALL = TechniqueConfig(
+    name="LS+all",
+    defrag=DefragConfig(min_fragments=4, min_accesses=2),
+    prefetch=PrefetchConfig(),
+    cache=SelectiveCacheConfig(),
+)
+"""All three techniques composed (defrag throttled per the §IV-A knobs so
+its rewrites don't churn data the cache already holds — see the
+``ablation_combined`` exhibit)."""
+
+ALL_CONFIGS: Tuple[TechniqueConfig, ...] = (NOLS,) + PAPER_CONFIGS + (LS_ALL,)
+
+
+def build_translator(trace: Trace, config: TechniqueConfig) -> Translator:
+    """Construct a fresh translator for replaying ``trace`` under ``config``.
+
+    The log frontier is placed at the trace's ``max_end`` so pre-trace data
+    resolves at PBA = LBA (§III).
+    """
+    if not config.log_structured:
+        return InPlaceTranslator()
+    return LogStructuredTranslator(
+        frontier_base=trace.max_end,
+        defrag=OpportunisticDefrag(config.defrag) if config.defrag else None,
+        prefetcher=LookAheadBehindPrefetcher(config.prefetch) if config.prefetch else None,
+        cache=SelectiveFragmentCache(config.cache) if config.cache else None,
+    )

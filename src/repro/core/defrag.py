@@ -1,0 +1,91 @@
+"""Opportunistic defragmentation (paper §IV-A, Algorithm 1).
+
+When a read is fragmented, the translation layer has already paid the seeks
+to assemble the data in order — writing it back contiguously at the log
+head costs only one extra seek (to the write frontier) plus transfer, and
+makes future reads of the same range seek-free.
+
+The paper notes the technique "does not come for free" and proposes two
+throttles, both implemented here:
+
+* ``min_fragments`` (the paper's *N*): only defragment ranges split into at
+  least N physical pieces.
+* ``min_accesses`` (the paper's *k*): wait until a fragmented range has
+  been read k times before rewriting it.
+
+With the defaults (N=2, k=1) the policy is Algorithm 1 verbatim: every
+fragmented read triggers a rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class DefragConfig:
+    """Tuning knobs for opportunistic defragmentation.
+
+    Attributes:
+        min_fragments: Rewrite only ranges resolved into at least this many
+            physical pieces (paper's N; >= 2 since 1 piece is unfragmented).
+        min_accesses: Rewrite only after this many fragmented reads of the
+            same range (paper's k; >= 1).
+    """
+
+    min_fragments: int = 2
+    min_accesses: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_fragments < 2:
+            raise ValueError(f"min_fragments must be >= 2, got {self.min_fragments}")
+        if self.min_accesses < 1:
+            raise ValueError(f"min_accesses must be >= 1, got {self.min_accesses}")
+
+
+class OpportunisticDefrag:
+    """Decision state for Algorithm 1 with the §IV-A throttles.
+
+    The translator calls :meth:`should_defragment` after serving each
+    fragmented read; a True return obliges the caller to rewrite the range
+    at the log head and then call :meth:`note_defragmented`.
+    """
+
+    def __init__(self, config: DefragConfig = DefragConfig()) -> None:
+        self._config = config
+        self._access_counts: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def config(self) -> DefragConfig:
+        return self._config
+
+    @property
+    def tracked_ranges(self) -> int:
+        """Number of fragmented ranges currently being access-counted."""
+        return len(self._access_counts)
+
+    def should_defragment(self, lba: int, length: int, fragments: int) -> bool:
+        """Decide whether the just-served fragmented read warrants a rewrite.
+
+        Args:
+            lba, length: The logical range that was read.
+            fragments: Its dynamic fragmentation (physical piece count).
+        """
+        if fragments < self._config.min_fragments:
+            return False
+        if self._config.min_accesses == 1:
+            return True
+        key = (lba, length)
+        count = self._access_counts.get(key, 0) + 1
+        if count >= self._config.min_accesses:
+            # The rewrite is about to happen; drop the counter so a future
+            # re-fragmentation of the range starts counting afresh.
+            self._access_counts.pop(key, None)
+            return True
+        self._access_counts[key] = count
+        return False
+
+    def note_defragmented(self, lba: int, length: int) -> None:
+        """Forget access history for a range that was just rewritten."""
+        self._access_counts.pop((lba, length), None)

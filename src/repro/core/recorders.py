@@ -1,0 +1,99 @@
+"""Recorder hooks for replay-time observation.
+
+A recorder receives every ``(op_index, outcome)`` pair during a replay and
+accumulates whatever the caller needs — seek logs, temporal series,
+fragmentation statistics — without the simulator having to retain
+per-operation state itself.  Specialized recorders for the paper's figures
+live in :mod:`repro.analysis`; the generic ones are here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Protocol
+
+from repro.core.outcomes import IOOutcome
+
+
+class Recorder(Protocol):
+    """Anything with an ``observe(op_index, outcome)`` method."""
+
+    def observe(self, op_index: int, outcome: IOOutcome) -> None:
+        """Called once per operation, in replay order."""
+        ...
+
+
+@dataclass(frozen=True)
+class SeekRecord:
+    """One seek as it happened during a replay.
+
+    Attributes:
+        op_index: Index of the operation that incurred the seek.
+        is_read: Direction of the seeking operation (defrag rewrites record
+            as writes).
+        distance: Signed seek distance in sectors.
+    """
+
+    op_index: int
+    is_read: bool
+    distance: int
+
+
+class SeekLogRecorder:
+    """Collect every seek of a replay as :class:`SeekRecord` entries.
+
+    Memory is proportional to the seek count; use windowed recorders for
+    very long traces when only aggregates are needed.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[SeekRecord] = []
+
+    def observe(self, op_index: int, outcome: IOOutcome) -> None:
+        is_read = outcome.request.is_read
+        for access in outcome.accesses:
+            if access.seek:
+                # Defrag rewrites appear inside read outcomes but seek in
+                # the write direction.
+                self.records.append(
+                    SeekRecord(
+                        op_index=op_index,
+                        is_read=is_read and not access.defrag,
+                        distance=access.distance,
+                    )
+                )
+
+    @property
+    def distances(self) -> List[int]:
+        return [r.distance for r in self.records]
+
+    @property
+    def read_distances(self) -> List[int]:
+        return [r.distance for r in self.records if r.is_read]
+
+
+class OutcomeLogRecorder:
+    """Retain every outcome (tests and small scenario replays only)."""
+
+    def __init__(self) -> None:
+        self.outcomes: List[IOOutcome] = []
+
+    def observe(self, op_index: int, outcome: IOOutcome) -> None:
+        self.outcomes.append(outcome)
+
+
+class FragmentationRecorder:
+    """Per-read dynamic-fragmentation counts (input to the Fig. 5 CDF)."""
+
+    def __init__(self) -> None:
+        self.read_fragments: List[int] = []
+
+    def observe(self, op_index: int, outcome: IOOutcome) -> None:
+        if outcome.request.is_read:
+            self.read_fragments.append(outcome.fragments)
+
+    @property
+    def fragmented_read_fragments(self) -> List[int]:
+        """Fragment counts of fragmented reads only (Fig. 5 ignores
+        unfragmented reads)."""
+        return [f for f in self.read_fragments if f > 1]

@@ -1,0 +1,88 @@
+"""Trace replay driver.
+
+:class:`Simulator` feeds a trace through a translator, folds every outcome
+into a :class:`~repro.core.outcomes.SimStats`, and fans outcomes out to any
+registered recorders.  It is deliberately dumb — all behaviour lives in the
+translator and the recorders — so a replay is fully described by
+``(trace, translator construction, recorders)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.core.outcomes import SimStats
+from repro.core.recorders import Recorder
+from repro.core.translators import Translator
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Summary of one trace replay.
+
+    Attributes:
+        trace_name: Name of the replayed trace.
+        translator: The translator's description string (e.g. ``"LS+cache"``).
+        stats: Aggregate counters.
+    """
+
+    trace_name: str
+    translator: str
+    stats: SimStats
+
+
+class Simulator:
+    """Replays traces through translators.
+
+    Args:
+        recorders: Observers receiving every ``(op_index, outcome)`` pair.
+        progress_every: If set, invoke ``progress`` every N operations.
+        progress: Callback ``(ops_done, ops_total)`` for long replays.
+    """
+
+    def __init__(
+        self,
+        recorders: Sequence[Recorder] = (),
+        progress_every: Optional[int] = None,
+        progress=None,
+    ) -> None:
+        if progress_every is not None and progress_every <= 0:
+            raise ValueError(f"progress_every must be > 0, got {progress_every}")
+        self._recorders = list(recorders)
+        self._progress_every = progress_every
+        self._progress = progress
+
+    def add_recorder(self, recorder: Recorder) -> None:
+        self._recorders.append(recorder)
+
+    def run(self, trace: Trace, translator: Translator) -> RunResult:
+        """Replay ``trace`` through ``translator`` and return the summary."""
+        stats = SimStats()
+        total = len(trace)
+        for op_index, request in enumerate(trace):
+            outcome = translator.submit(request)
+            stats.absorb(outcome)
+            for recorder in self._recorders:
+                recorder.observe(op_index, outcome)
+            if (
+                self._progress_every is not None
+                and self._progress is not None
+                and (op_index + 1) % self._progress_every == 0
+            ):
+                self._progress(op_index + 1, total)
+        return RunResult(
+            trace_name=trace.name,
+            translator=translator.description,
+            stats=stats,
+        )
+
+
+def replay(
+    trace: Trace,
+    translator: Translator,
+    recorders: Iterable[Recorder] = (),
+) -> RunResult:
+    """One-shot convenience wrapper: replay and return the result."""
+    return Simulator(recorders=list(recorders)).run(trace, translator)

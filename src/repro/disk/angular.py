@@ -1,0 +1,85 @@
+"""Angular (rotational-position) seek-cost model.
+
+:class:`~repro.disk.seek_time.SeekTimeModel` approximates rotational delay
+statistically (half a revolution for long seeks, a missed rotation for
+short backward hops).  This refinement tracks the platter's angular
+position explicitly: a sector's angle is its offset within its track, the
+platter keeps spinning during head movement, and the cost of a seek is
+head travel plus the wait for the target sector to come around.
+
+It exists to quantify the §IV-B missed-rotation phenomenon exactly — how
+much of log-structured translation's *time* overhead comes from small
+backward hops that a distance-bucketed model can only approximate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.disk.geometry import DiskGeometry
+
+
+@dataclass
+class AngularSeekModel:
+    """Deterministic rotational-position cost model.
+
+    Attributes:
+        geometry: Supplies track size, rotation speed and head-seek curve
+            inputs.
+        min_seek_ms / max_seek_ms: Head travel time bounds (same meaning
+            as in :class:`SeekTimeModel`).
+    """
+
+    geometry: DiskGeometry = field(default_factory=DiskGeometry)
+    min_seek_ms: float = 1.0
+    max_seek_ms: float = 25.0
+
+    def __post_init__(self) -> None:
+        if self.min_seek_ms <= 0:
+            raise ValueError(f"min_seek_ms must be > 0, got {self.min_seek_ms}")
+        if self.max_seek_ms < self.min_seek_ms:
+            raise ValueError("max_seek_ms must be >= min_seek_ms")
+
+    def angle_of(self, sector: int) -> float:
+        """Angular position of a sector as a fraction of a revolution."""
+        if sector < 0:
+            raise ValueError(f"sector must be >= 0, got {sector}")
+        return (sector % self.geometry.track_sectors) / self.geometry.track_sectors
+
+    def head_travel_ms(self, from_sector: int, to_sector: int) -> float:
+        """Arm movement time between the two sectors' tracks (0 if same)."""
+        tracks = abs(
+            to_sector // self.geometry.track_sectors
+            - from_sector // self.geometry.track_sectors
+        )
+        if tracks == 0:
+            return 0.0
+        frac = min(1.0, tracks / self.geometry.tracks)
+        return self.min_seek_ms + (self.max_seek_ms - self.min_seek_ms) * (frac ** 0.5)
+
+    def seek_ms(self, from_sector: int, to_sector: int) -> float:
+        """Total repositioning time from the end of one access to the
+        start of the next, including the rotational wait.
+
+        The platter rotates while the head travels; after travel the head
+        waits until the target angle comes around (0..1 revolution).
+        """
+        if from_sector == to_sector:
+            return 0.0
+        travel = self.head_travel_ms(from_sector, to_sector)
+        rev = self.geometry.revolution_ms
+        # Angle the platter has advanced past the source sector when the
+        # head arrives at the target track.
+        arrival_angle = (self.angle_of(from_sector) + travel / rev) % 1.0
+        target_angle = self.angle_of(to_sector)
+        wait_fraction = (target_angle - arrival_angle) % 1.0
+        return travel + wait_fraction * rev
+
+    def missed_rotation_ms(self) -> float:
+        """Cost of reading physical sector N right after N+1 on one track:
+        nearly a full revolution — the §IV-B hazard look-behind removes."""
+        return self.seek_ms(1, 0)
+
+    def total_ms(self, hops) -> float:
+        """Aggregate cost over ``(from_sector, to_sector)`` pairs."""
+        return sum(self.seek_ms(a, b) for a, b in hops)

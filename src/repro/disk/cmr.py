@@ -1,0 +1,59 @@
+"""Conventional (update-in-place) disk with time estimation.
+
+The seek-*count* baseline used for SAF lives in
+:class:`repro.core.translators.InPlaceTranslator`; this class adds the
+§III seek-time model on top of the same in-place semantics so examples and
+ablations can report estimated service time, not just counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.disk.head import DiskHead
+from repro.disk.seek_time import SeekTimeModel
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+@dataclass
+class ServiceTimeStats:
+    """Aggregate estimated service time of a replay."""
+
+    seeks: int = 0
+    seek_ms: float = 0.0
+    transfer_ms: float = 0.0
+
+    @property
+    def total_ms(self) -> float:
+        return self.seek_ms + self.transfer_ms
+
+
+class ConventionalDisk:
+    """Update-in-place disk (PBA = LBA) with a seek-time estimator."""
+
+    def __init__(self, time_model: SeekTimeModel = None) -> None:
+        self._time_model = time_model or SeekTimeModel()
+        self._head = DiskHead()
+        self.stats = ServiceTimeStats()
+
+    @property
+    def time_model(self) -> SeekTimeModel:
+        return self._time_model
+
+    def submit(self, request: IORequest) -> float:
+        """Serve one request in place; return its estimated service time (ms)."""
+        event = self._head.access(request.lba, request.length)
+        seek_ms = self._time_model.seek_ms(event.distance) if event.seek else 0.0
+        transfer_ms = self._time_model.geometry.transfer_ms(request.length)
+        if event.seek:
+            self.stats.seeks += 1
+        self.stats.seek_ms += seek_ms
+        self.stats.transfer_ms += transfer_ms
+        return seek_ms + transfer_ms
+
+    def replay(self, trace: Trace) -> ServiceTimeStats:
+        """Replay a trace and return the accumulated service-time stats."""
+        for request in trace:
+            self.submit(request)
+        return self.stats

@@ -1,0 +1,59 @@
+"""Disk geometry parameters shared by the seek-time and zone models.
+
+The paper's seek *counting* is geometry-free; geometry only enters when
+converting seek distances to time (§III's cost discussion) and when laying
+out SMR zones.  Defaults approximate a 7200 RPM, 8 TB class SMR drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import SECTORS_PER_MIB, gib_to_sectors
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Coarse physical parameters of a drive.
+
+    Attributes:
+        capacity_sectors: Total addressable sectors.
+        track_sectors: Sectors per track (modern outer tracks hold ~2 MiB).
+        rpm: Spindle speed.
+        transfer_mib_s: Sustained media transfer rate.
+    """
+
+    capacity_sectors: int = gib_to_sectors(8 * 1024)
+    track_sectors: int = 2 * SECTORS_PER_MIB
+    rpm: int = 7200
+    transfer_mib_s: float = 180.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_sectors <= 0:
+            raise ValueError(f"capacity_sectors must be > 0, got {self.capacity_sectors}")
+        if self.track_sectors <= 0:
+            raise ValueError(f"track_sectors must be > 0, got {self.track_sectors}")
+        if self.rpm <= 0:
+            raise ValueError(f"rpm must be > 0, got {self.rpm}")
+        if self.transfer_mib_s <= 0:
+            raise ValueError(f"transfer_mib_s must be > 0, got {self.transfer_mib_s}")
+
+    @property
+    def revolution_ms(self) -> float:
+        """Time of one platter revolution in milliseconds."""
+        return 60_000.0 / self.rpm
+
+    @property
+    def tracks(self) -> int:
+        """Approximate track count (capacity / track size)."""
+        return max(1, self.capacity_sectors // self.track_sectors)
+
+    def transfer_ms(self, sectors: int) -> float:
+        """Media transfer time for ``sectors`` at the sustained rate."""
+        if sectors < 0:
+            raise ValueError(f"sectors must be >= 0, got {sectors}")
+        return sectors * 512 / (self.transfer_mib_s * 1024 * 1024) * 1000.0
+
+    def tracks_spanned(self, distance_sectors: int) -> int:
+        """How many track boundaries a seek of ``distance_sectors`` crosses."""
+        return abs(distance_sectors) // self.track_sectors

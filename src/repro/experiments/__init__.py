@@ -1,0 +1,15 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+One module per exhibit; each exposes ``run(seed, scale, out_dir) -> dict``
+returning the exhibit's data (also dumped as JSON when ``out_dir`` is set)
+and printing a paper-style text rendering.
+
+Command line::
+
+    python -m repro.experiments all
+    python -m repro.experiments fig11 --seed 42 --scale 1.0 --out results/
+"""
+
+from repro.experiments.registry import EXHIBITS, run_exhibit
+
+__all__ = ["EXHIBITS", "run_exhibit"]

@@ -1,0 +1,79 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    python -m repro.experiments all --out results/
+    python -m repro.experiments fig11 fig10 --seed 7
+    repro-experiments table1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXHIBITS, run_exhibit
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate tables/figures from 'Minimizing Read Seeks "
+        "for SMR Disk' (IISWC 2018) on synthetic workload archetypes.",
+    )
+    parser.add_argument(
+        "exhibits",
+        nargs="+",
+        help=f"exhibit names ({', '.join(EXHIBITS)}), 'all', or 'report' "
+        "to consolidate saved JSONs into REPORT.md",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="workload RNG seed")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload size multiplier (1.0 = registry default)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory for JSON result dumps (default: no dumps)",
+    )
+    parser.add_argument(
+        "--svg",
+        default=None,
+        metavar="DIR",
+        help="directory for SVG chart renderings (chartable exhibits only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.exhibits == ["report"]:
+        from repro.experiments.report import write_report
+
+        if not args.out:
+            parser.error("'report' needs --out DIR pointing at saved results")
+        path = write_report(args.out)
+        print(f"wrote {path}")
+        return 0
+
+    names = list(EXHIBITS) if "all" in args.exhibits else args.exhibits
+    for name in names:
+        if name not in EXHIBITS:
+            parser.error(f"unknown exhibit {name!r}; known: {', '.join(EXHIBITS)}")
+    for name in names:
+        start = time.time()
+        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        data = run_exhibit(name, seed=args.seed, scale=args.scale, out_dir=args.out)
+        if args.svg:
+            from repro.experiments.charts import render_svg
+
+            for path in render_svg(name, data, args.svg):
+                print(f"(svg) {path}")
+        print(f"--- {name} done in {time.time() - start:.1f}s\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.config import TechniqueConfig, build_translator
+from repro.core.recorders import Recorder
+from repro.core.simulator import RunResult, Simulator
+from repro.trace.trace import Trace
+from repro.workloads import synthesize_workload
+
+_trace_cache: Dict[Tuple[str, int, float], Trace] = {}
+
+
+def workload_trace(name: str, seed: int, scale: float) -> Trace:
+    """Memoized synthetic trace for a Table I workload.
+
+    Several exhibits replay the same workloads; generating each trace once
+    per (name, seed, scale) keeps a full ``all`` run fast and guarantees
+    every exhibit sees the identical trace.
+    """
+    key = (name, seed, scale)
+    if key not in _trace_cache:
+        _trace_cache[key] = synthesize_workload(name, seed=seed, scale=scale)
+    return _trace_cache[key]
+
+
+def replay_with(
+    trace: Trace,
+    config: TechniqueConfig,
+    recorders: Sequence[Recorder] = (),
+) -> RunResult:
+    """Replay ``trace`` under ``config`` with optional recorders attached."""
+    translator = build_translator(trace, config)
+    return Simulator(recorders=list(recorders)).run(trace, translator)
+
+
+def save_json(exhibit: str, data: dict, out_dir: Optional[str]) -> Optional[Path]:
+    """Dump exhibit data as ``<out_dir>/<exhibit>.json``; None disables."""
+    if out_dir is None:
+        return None
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"{exhibit}.json"
+    with path.open("w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+    return path
+
+
+def downsample(series: Iterable[float], max_points: int = 200) -> list:
+    """Thin a long series for JSON output, keeping first/last points."""
+    values = list(series)
+    if len(values) <= max_points:
+        return values
+    stride = len(values) / max_points
+    picked = [values[int(i * stride)] for i in range(max_points)]
+    picked[-1] = values[-1]
+    return picked

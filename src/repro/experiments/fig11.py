@@ -1,0 +1,55 @@
+"""Fig. 11 — seek amplification factors of LS and the three techniques."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import NOLS, PAPER_CONFIGS
+from repro.core.metrics import seek_amplification
+from repro.experiments.common import replay_with, save_json, workload_trace
+from repro.experiments.render import format_table
+from repro.workloads import CLOUDPHYSICS_WORKLOADS, MSR_WORKLOADS
+
+EXHIBIT = "fig11"
+
+
+def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
+    """Regenerate Fig. 11: total SAF per workload under plain LS,
+    LS+opportunistic defrag, LS+look-ahead-behind prefetch and
+    LS+selective caching (64 MB), for the MSR and CloudPhysics sets.
+
+    Shapes to check (paper §V): MSR workloads except usr_1/hm_1 sit below
+    1; most CloudPhysics workloads sit above 1 with w91 worst; defrag
+    worsens src2_2/w93/w20; prefetch gains are large for w84/w95/w91 and
+    marginal for usr_1/hm_1/w55/w33; caching is the best technique nearly
+    everywhere.
+    """
+    data = {}
+    for family, names in (("msr", MSR_WORKLOADS), ("cloudphysics", CLOUDPHYSICS_WORKLOADS)):
+        rows = []
+        for name in names:
+            trace = workload_trace(name, seed, scale)
+            baseline = replay_with(trace, NOLS).stats
+            safs = {}
+            for config in PAPER_CONFIGS:
+                stats = replay_with(trace, config).stats
+                saf = seek_amplification(stats, baseline)
+                safs[config.name] = {
+                    "read": round(saf.read, 3),
+                    "write": round(saf.write, 3),
+                    "total": round(saf.total, 3),
+                }
+            data[name] = {"family": family, "saf": safs}
+            rows.append(
+                [name]
+                + [f"{safs[c.name]['total']:.2f}" for c in PAPER_CONFIGS]
+            )
+        print(
+            format_table(
+                ["workload"] + [c.name for c in PAPER_CONFIGS],
+                rows,
+                title=f"Fig. 11 ({family}): total seek amplification factor",
+            )
+        )
+    save_json(EXHIBIT, data, out_dir)
+    return data

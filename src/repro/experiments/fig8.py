@@ -1,0 +1,35 @@
+"""Fig. 8 — mis-ordered writes within a 256 KB horizon, per workload."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.misorder import misorder_rate
+from repro.experiments.common import save_json, workload_trace
+from repro.experiments.render import hbar_chart
+from repro.workloads import TABLE1
+
+EXHIBIT = "fig8"
+HORIZON_KIB = 256.0
+
+
+def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
+    """Regenerate Fig. 8: the fraction of writes whose LBA sequentially
+    follows a write issued within the next 256 KB of written volume.
+
+    Shape to check: rates reach roughly 1-in-20 for src2_2 and 1-in-25
+    for w106, and are near zero for workloads without mis-ordered runs.
+    """
+    data = {}
+    for name in TABLE1:
+        trace = workload_trace(name, seed, scale)
+        data[name] = round(misorder_rate(trace, HORIZON_KIB), 5)
+    print(
+        hbar_chart(
+            sorted(data.items(), key=lambda kv: -kv[1]),
+            title=f"Fig. 8: mis-ordered write rate (horizon {HORIZON_KIB:g} KB)",
+            fmt="{:.4f}",
+        )
+    )
+    save_json(EXHIBIT, data, out_dir)
+    return data

@@ -1,0 +1,60 @@
+"""Exhibit registry mapping names to runner modules."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.experiments import (
+    ablations,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    table1,
+)
+
+Runner = Callable[..., dict]
+
+EXHIBITS: Dict[str, Runner] = {
+    "table1": table1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "ablation_cache": ablations.run_cache,
+    "ablation_defrag": ablations.run_defrag,
+    "ablation_prefetch": ablations.run_prefetch,
+    "ablation_cleaning": ablations.run_cleaning,
+    "ablation_multifrontier": ablations.run_multifrontier,
+    "ablation_combined": ablations.run_combined,
+    "taxonomy": ablations.run_taxonomy,
+}
+"""All regenerable exhibits: the paper's (in its order) plus ablations."""
+
+
+def run_exhibit(
+    name: str,
+    seed: int = 42,
+    scale: float = 1.0,
+    out_dir: Optional[str] = None,
+) -> dict:
+    """Run one exhibit by name (KeyError lists the valid names)."""
+    try:
+        runner = EXHIBITS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown exhibit {name!r}; known: {', '.join(EXHIBITS)}"
+        ) from None
+    return runner(seed=seed, scale=scale, out_dir=out_dir)

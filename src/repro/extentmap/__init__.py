@@ -1,0 +1,26 @@
+"""Logical-to-physical address mapping structures.
+
+The log-structured translator needs a map from LBA ranges to the physical
+(log) locations that currently hold them.  Two interchangeable
+implementations are provided:
+
+* :class:`~repro.extentmap.extent_map.ExtentMap` — the production structure:
+  a sorted list of non-overlapping extents with bisect lookup and
+  split/trim on overwrite.  Memory is proportional to *fragmentation*, not
+  address-space size.
+* :class:`~repro.extentmap.block_map.BlockMap` — a block-granular dict used
+  as an executable specification; property tests assert the two agree on
+  random operation sequences.
+
+Both return :class:`~repro.extentmap.base.Segment` lists from lookups; a
+segment is either mapped (``pba`` set) or a hole (``pba is None``), and the
+number of *mapped, mutually discontiguous* segments returned for a read is
+exactly the paper's "dynamic fragmentation" of that read.
+"""
+
+from repro.extentmap.base import Segment, AddressMap
+from repro.extentmap.extent import Extent
+from repro.extentmap.extent_map import ExtentMap
+from repro.extentmap.block_map import BlockMap
+
+__all__ = ["Segment", "AddressMap", "Extent", "ExtentMap", "BlockMap"]

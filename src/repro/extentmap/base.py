@@ -1,0 +1,87 @@
+"""Shared types and the abstract interface for address maps."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A physically contiguous piece of a logical range, as resolved by a map.
+
+    Attributes:
+        lba: First logical sector of the piece.
+        pba: First physical sector holding it, or ``None`` for a *hole* —
+            a logical range never written during the simulation.  The
+            log-structured translator resolves holes with the paper's
+            "unwritten data resides at PBA = LBA" rule.
+        length: Sector count (positive).
+    """
+
+    lba: int
+    pba: Optional[int]
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError(f"segment length must be > 0, got {self.length}")
+        if self.lba < 0:
+            raise ValueError(f"segment lba must be >= 0, got {self.lba}")
+        if self.pba is not None and self.pba < 0:
+            raise ValueError(f"segment pba must be >= 0, got {self.pba}")
+
+    @property
+    def lba_end(self) -> int:
+        return self.lba + self.length
+
+    @property
+    def pba_end(self) -> Optional[int]:
+        return None if self.pba is None else self.pba + self.length
+
+    @property
+    def is_hole(self) -> bool:
+        return self.pba is None
+
+
+class AddressMap(abc.ABC):
+    """Abstract LBA-to-PBA map with overwrite semantics.
+
+    Implementations maintain the invariant that each logical sector maps to
+    at most one physical sector; mapping a range atomically unmaps whatever
+    previously covered it (the old physical sectors become garbage, which
+    the infinite-disk model never reclaims).
+    """
+
+    @abc.abstractmethod
+    def map_range(self, lba: int, pba: int, length: int) -> None:
+        """Map ``[lba, lba+length)`` to ``[pba, pba+length)``, replacing any
+        previous mapping of those logical sectors."""
+
+    @abc.abstractmethod
+    def lookup(self, lba: int, length: int) -> List[Segment]:
+        """Resolve ``[lba, lba+length)`` to an ordered list of segments.
+
+        The returned segments tile the requested range exactly, in LBA
+        order.  Adjacent segments are merged when both logically and
+        physically contiguous; holes are merged with adjacent holes.
+        """
+
+    @abc.abstractmethod
+    def mapped_extent_count(self) -> int:
+        """Number of distinct mapped extents (the paper's *static
+        fragmentation* measure)."""
+
+    @abc.abstractmethod
+    def mapped_sector_count(self) -> int:
+        """Total number of currently mapped logical sectors."""
+
+    def fragment_count(self, lba: int, length: int) -> int:
+        """Dynamic fragmentation of a read: number of mapped, discontiguous
+        physical pieces needed to serve ``[lba, lba+length)``.
+
+        Holes count as one piece each (they resolve to identity placement,
+        which is contiguous per hole).
+        """
+        return len(self.lookup(lba, length))

@@ -1,0 +1,75 @@
+"""Sector-granular reference implementation of the address map.
+
+:class:`BlockMap` stores one dict entry per mapped sector.  It is
+deliberately trivial — its correctness is evident by inspection — and serves
+as the executable specification against which
+:class:`~repro.extentmap.extent_map.ExtentMap` is property-tested.  It is
+also perfectly usable for small simulations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.extentmap.base import AddressMap, Segment
+
+
+class BlockMap(AddressMap):
+    """Per-sector dict-based LBA→PBA map."""
+
+    def __init__(self) -> None:
+        self._map: Dict[int, int] = {}
+
+    def __repr__(self) -> str:
+        return f"BlockMap(n_sectors={len(self._map)})"
+
+    def map_range(self, lba: int, pba: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        if lba < 0 or pba < 0:
+            raise ValueError(f"addresses must be >= 0, got lba={lba} pba={pba}")
+        for offset in range(length):
+            self._map[lba + offset] = pba + offset
+
+    def lookup(self, lba: int, length: int) -> List[Segment]:
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        segments: List[Segment] = []
+        run_lba = lba
+        run_pba = self._map.get(lba)
+        run_len = 1
+        for offset in range(1, length):
+            sector = lba + offset
+            pba = self._map.get(sector)
+            contiguous = (
+                (pba is None and run_pba is None)
+                or (
+                    pba is not None
+                    and run_pba is not None
+                    and pba == run_pba + run_len
+                )
+            )
+            if contiguous:
+                run_len += 1
+            else:
+                segments.append(Segment(run_lba, run_pba, run_len))
+                run_lba, run_pba, run_len = sector, pba, 1
+        segments.append(Segment(run_lba, run_pba, run_len))
+        return segments
+
+    def mapped_extent_count(self) -> int:
+        """Count maximal runs that are contiguous both logically and physically."""
+        if not self._map:
+            return 0
+        count = 0
+        prev_lba = None
+        prev_pba = None
+        for sector in sorted(self._map):
+            pba = self._map[sector]
+            if prev_lba != sector - 1 or prev_pba is None or pba != prev_pba + 1:
+                count += 1
+            prev_lba, prev_pba = sector, pba
+        return count
+
+    def mapped_sector_count(self) -> int:
+        return len(self._map)

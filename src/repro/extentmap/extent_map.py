@@ -1,0 +1,168 @@
+"""Sorted-extent implementation of :class:`~repro.extentmap.base.AddressMap`.
+
+The map holds non-overlapping extents sorted by LBA, with a parallel list of
+start addresses for binary search.  Lookups are O(log n + k) for k result
+segments; overwrites are O(log n + k) extent operations plus the O(n)
+memmove cost of Python list insertion/deletion, which is fast at trace scale
+(the constant is a C memmove of pointer arrays).
+
+Memory scales with the number of extents — i.e. with the *fragmentation* of
+the logical space — which is exactly the quantity the paper studies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, List
+
+from repro.extentmap.base import AddressMap, Segment
+from repro.extentmap.extent import Extent
+
+
+class ExtentMap(AddressMap):
+    """Sorted non-overlapping extent map with split/trim overwrite semantics."""
+
+    def __init__(self) -> None:
+        self._extents: List[Extent] = []
+        self._starts: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._extents)
+
+    def __iter__(self) -> Iterator[Extent]:
+        """Iterate extents in LBA order (do not mutate while iterating)."""
+        return iter(self._extents)
+
+    def __repr__(self) -> str:
+        return f"ExtentMap(n_extents={len(self._extents)})"
+
+    # ------------------------------------------------------------------ #
+    # AddressMap interface
+    # ------------------------------------------------------------------ #
+
+    def map_range(self, lba: int, pba: int, length: int) -> None:
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        if lba < 0 or pba < 0:
+            raise ValueError(f"addresses must be >= 0, got lba={lba} pba={pba}")
+        end = lba + length
+        idx = self._first_overlap_index(lba)
+
+        # Carve out everything the new range overlaps.
+        while idx < len(self._extents):
+            ext = self._extents[idx]
+            if ext.lba >= end:
+                break
+            if ext.lba < lba and ext.lba_end > end:
+                # New range splits this extent in the middle: keep the front
+                # in place, insert the surviving tail after the new extent.
+                tail_len = ext.lba_end - end
+                tail = Extent(end, ext.pba + (end - ext.lba), tail_len)
+                ext.trim_back(ext.lba_end - lba)
+                self._insert_at(idx + 1, tail)
+                idx += 1
+                break
+            if ext.lba < lba:
+                # Front of the extent survives.
+                ext.trim_back(ext.lba_end - lba)
+                idx += 1
+            elif ext.lba_end > end:
+                # Back of the extent survives.
+                ext.trim_front(end - ext.lba)
+                self._starts[idx] = ext.lba
+                break
+            else:
+                # Fully covered: drop it.
+                self._delete_at(idx)
+
+        self._insert_merged(Extent(lba, pba, length))
+
+    def lookup(self, lba: int, length: int) -> List[Segment]:
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        end = lba + length
+        segments: List[Segment] = []
+        cursor = lba
+        idx = self._first_overlap_index(lba)
+        while cursor < end and idx < len(self._extents):
+            ext = self._extents[idx]
+            if ext.lba >= end:
+                break
+            if ext.lba > cursor:
+                self._append_segment(segments, Segment(cursor, None, ext.lba - cursor))
+                cursor = ext.lba
+            piece_end = min(ext.lba_end, end)
+            self._append_segment(
+                segments,
+                Segment(cursor, ext.pba_for(cursor), piece_end - cursor),
+            )
+            cursor = piece_end
+            idx += 1
+        if cursor < end:
+            self._append_segment(segments, Segment(cursor, None, end - cursor))
+        return segments
+
+    def mapped_extent_count(self) -> int:
+        return len(self._extents)
+
+    def mapped_sector_count(self) -> int:
+        return sum(ext.length for ext in self._extents)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _first_overlap_index(self, lba: int) -> int:
+        """Index of the first extent whose range could overlap ``lba``-onward."""
+        idx = bisect_right(self._starts, lba)
+        if idx > 0 and self._extents[idx - 1].lba_end > lba:
+            return idx - 1
+        return idx
+
+    def _insert_at(self, idx: int, extent: Extent) -> None:
+        self._extents.insert(idx, extent)
+        self._starts.insert(idx, extent.lba)
+
+    def _delete_at(self, idx: int) -> None:
+        del self._extents[idx]
+        del self._starts[idx]
+
+    def _insert_merged(self, extent: Extent) -> None:
+        """Insert ``extent`` (range already clear) merging contiguous neighbours.
+
+        A merge requires both logical and physical contiguity, so a merged
+        extent still describes one seek-free run on the platter.
+        """
+        idx = bisect_right(self._starts, extent.lba)
+        if idx > 0:
+            prev = self._extents[idx - 1]
+            if prev.lba_end == extent.lba and prev.pba_end == extent.pba:
+                prev.length += extent.length
+                extent = prev
+                idx -= 1
+            else:
+                self._insert_at(idx, extent)
+        else:
+            self._insert_at(idx, extent)
+        nxt_idx = idx + 1
+        if nxt_idx < len(self._extents):
+            nxt = self._extents[nxt_idx]
+            if extent.lba_end == nxt.lba and extent.pba_end == nxt.pba:
+                extent.length += nxt.length
+                self._delete_at(nxt_idx)
+
+    @staticmethod
+    def _append_segment(segments: List[Segment], segment: Segment) -> None:
+        """Append ``segment``, merging with the previous one when contiguous."""
+        if segments:
+            last = segments[-1]
+            both_holes = last.is_hole and segment.is_hole
+            phys_contig = (
+                not last.is_hole
+                and not segment.is_hole
+                and last.pba_end == segment.pba
+            )
+            if last.lba_end == segment.lba and (both_holes or phys_contig):
+                segments[-1] = Segment(last.lba, last.pba, last.length + segment.length)
+                return
+        segments.append(segment)

@@ -1,0 +1,46 @@
+"""Block I/O trace infrastructure.
+
+Provides the :class:`~repro.trace.record.IORequest` record type shared by the
+whole simulator, an in-memory :class:`~repro.trace.trace.Trace` container,
+parsers for the MSR Cambridge and CloudPhysics-style CSV formats the paper
+uses, a generic CSV reader/writer, trace statistics (the Table I columns),
+and sampling/windowing utilities.
+"""
+
+from repro.trace.record import IORequest, OpType
+from repro.trace.trace import Trace
+from repro.trace.stats import TraceStats, compute_stats
+from repro.trace.csvio import read_csv_trace, write_csv_trace
+from repro.trace.msr import parse_msr_file, parse_msr_lines
+from repro.trace.cloudphysics import parse_cloudphysics_file, parse_cloudphysics_lines
+from repro.trace.writers import write_msr_trace, write_cloudphysics_trace
+from repro.trace.sampling import (
+    head_sample,
+    stride_sample,
+    time_window,
+    op_window,
+    split_by_op,
+    op_index_buckets,
+)
+
+__all__ = [
+    "IORequest",
+    "OpType",
+    "Trace",
+    "TraceStats",
+    "compute_stats",
+    "read_csv_trace",
+    "write_csv_trace",
+    "parse_msr_file",
+    "parse_msr_lines",
+    "parse_cloudphysics_file",
+    "parse_cloudphysics_lines",
+    "write_msr_trace",
+    "write_cloudphysics_trace",
+    "head_sample",
+    "stride_sample",
+    "time_window",
+    "op_window",
+    "split_by_op",
+    "op_index_buckets",
+]

@@ -1,0 +1,77 @@
+"""Parser for CloudPhysics-style block trace dumps.
+
+The CloudPhysics traces (paper citation [21], SHARDS, FAST'15) were never
+publicly released; dumps circulated in research collaborations are CSV with
+the columns::
+
+    timestamp_us,op,lba,length_sectors
+
+(timestamps in microseconds, addresses already in sectors).  This parser
+accepts that shape, tolerating an optional header row and an optional extra
+latency column.  As with the MSR parser, the experiment harness substitutes
+synthetic archetypes when no file is available.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.trace.record import IORequest, OpType
+from repro.trace.trace import Trace
+
+
+def parse_cloudphysics_lines(
+    lines: Iterable[str],
+    name: str = "cloudphysics",
+    max_ops: Optional[int] = None,
+) -> Trace:
+    """Parse CloudPhysics-style CSV lines into a :class:`Trace`.
+
+    Timestamps are rebased so the first record is at t = 0.
+    """
+    requests = []
+    first_us: Optional[float] = None
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = [f.strip() for f in line.split(",")]
+        if fields[0].lower() in ("timestamp_us", "timestamp", "ts"):
+            continue
+        if len(fields) < 4:
+            raise ValueError(
+                f"{name}:{line_no}: expected >=4 CloudPhysics fields, got {len(fields)}"
+            )
+        try:
+            ts_us = float(fields[0])
+            op = OpType.parse(fields[1])
+            lba = int(fields[2])
+            length = int(fields[3])
+        except ValueError as exc:
+            raise ValueError(f"{name}:{line_no}: bad CloudPhysics record: {exc}") from exc
+        if length <= 0:
+            continue
+        if first_us is None:
+            first_us = ts_us
+        requests.append(
+            IORequest(
+                timestamp=(ts_us - first_us) / 1e6,
+                op=op,
+                lba=lba,
+                length=length,
+            )
+        )
+        if max_ops is not None and len(requests) >= max_ops:
+            break
+    return Trace(requests, name=name)
+
+
+def parse_cloudphysics_file(
+    path: Union[str, Path],
+    max_ops: Optional[int] = None,
+) -> Trace:
+    """Parse a CloudPhysics-style trace file."""
+    path = Path(path)
+    with path.open() as handle:
+        return parse_cloudphysics_lines(handle, name=path.stem, max_ops=max_ops)

@@ -1,0 +1,65 @@
+"""Generic CSV trace reader/writer.
+
+The native on-disk format of this library is a minimal four-column CSV::
+
+    timestamp,op,lba,length
+
+with timestamps in seconds and addresses in sectors.  Synthetic traces are
+persisted in this format so experiments can be re-run without regenerating
+workloads.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.trace.record import IORequest, OpType
+from repro.trace.trace import Trace
+
+_HEADER = ["timestamp", "op", "lba", "length"]
+
+
+def write_csv_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` in the native CSV format."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_HEADER)
+        for request in trace:
+            writer.writerow(
+                [f"{request.timestamp:.6f}", request.op.value, request.lba, request.length]
+            )
+
+
+def read_csv_trace(path: Union[str, Path], name: str = "") -> Trace:
+    """Read a native-format CSV trace from ``path``.
+
+    The header row is optional; rows that fail to parse raise
+    :class:`ValueError` with the offending line number.
+    """
+    path = Path(path)
+    requests = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        for line_no, row in enumerate(reader, start=1):
+            if not row or row[0].startswith("#"):
+                continue
+            if line_no == 1 and row[0].strip().lower() == "timestamp":
+                continue
+            try:
+                requests.append(_parse_row(row))
+            except (ValueError, IndexError) as exc:
+                raise ValueError(f"{path}:{line_no}: bad trace row {row!r}: {exc}") from exc
+    return Trace(requests, name=name or path.stem)
+
+
+def _parse_row(row: Iterable[str]) -> IORequest:
+    timestamp_s, op_s, lba_s, length_s = list(row)[:4]
+    return IORequest(
+        timestamp=float(timestamp_s),
+        op=OpType.parse(op_s),
+        lba=int(lba_s),
+        length=int(length_s),
+    )

@@ -1,0 +1,93 @@
+"""Parser for the MSR Cambridge block traces.
+
+The MSR traces ("Write off-loading", Narayanan et al., FAST'08 — the paper's
+citation [20]) are CSV files with the columns::
+
+    Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime
+
+where ``Timestamp`` is a Windows FILETIME (100 ns ticks since 1601-01-01),
+``Offset``/``Size`` are in bytes, and ``Type`` is ``Read``/``Write``.  This
+module converts them to the library's sector-addressed
+:class:`~repro.trace.record.IORequest` form.
+
+The trace files themselves are distributed by SNIA and are not bundled; the
+experiment harness substitutes calibrated synthetic archetypes when no trace
+file is supplied (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.trace.record import IORequest, OpType
+from repro.trace.trace import Trace
+from repro.util.units import SECTOR_BYTES, bytes_to_sectors
+
+_TICKS_PER_SECOND = 10_000_000  # Windows FILETIME resolution: 100 ns
+
+
+def parse_msr_lines(
+    lines: Iterable[str],
+    name: str = "msr",
+    disk_number: Optional[int] = None,
+    max_ops: Optional[int] = None,
+) -> Trace:
+    """Parse MSR-format CSV lines into a :class:`Trace`.
+
+    Args:
+        lines: Raw text lines (header-less, as the MSR files are shipped).
+        name: Name for the resulting trace.
+        disk_number: If given, keep only records for this disk number
+            (MSR files multiplex several volumes per host).
+        max_ops: Stop after this many accepted records.
+
+    Timestamps are rebased so the first accepted record is at t = 0.
+    """
+    requests = []
+    first_ticks: Optional[int] = None
+    for line_no, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        fields = line.split(",")
+        if len(fields) < 6:
+            raise ValueError(f"{name}:{line_no}: expected >=6 MSR fields, got {len(fields)}")
+        try:
+            ticks = int(fields[0])
+            disk = int(fields[2])
+            op = OpType.parse(fields[3])
+            offset_bytes = int(fields[4])
+            size_bytes = int(fields[5])
+        except ValueError as exc:
+            raise ValueError(f"{name}:{line_no}: bad MSR record: {exc}") from exc
+        if disk_number is not None and disk != disk_number:
+            continue
+        if size_bytes <= 0:
+            continue
+        if first_ticks is None:
+            first_ticks = ticks
+        requests.append(
+            IORequest(
+                timestamp=(ticks - first_ticks) / _TICKS_PER_SECOND,
+                op=op,
+                lba=offset_bytes // SECTOR_BYTES,
+                length=bytes_to_sectors(size_bytes),
+            )
+        )
+        if max_ops is not None and len(requests) >= max_ops:
+            break
+    return Trace(requests, name=name)
+
+
+def parse_msr_file(
+    path: Union[str, Path],
+    disk_number: Optional[int] = None,
+    max_ops: Optional[int] = None,
+) -> Trace:
+    """Parse an MSR trace file (e.g. ``src2_2.csv``)."""
+    path = Path(path)
+    with path.open() as handle:
+        return parse_msr_lines(
+            handle, name=path.stem, disk_number=disk_number, max_ops=max_ops
+        )

@@ -1,0 +1,102 @@
+"""Trace summary statistics — the columns of the paper's Table I.
+
+Table I characterizes each workload by read/write operation counts, read and
+written volume in GB, and mean write size in KB.  :func:`compute_stats`
+derives all of these (plus a few extras used elsewhere in the analysis) in a
+single pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace.trace import Trace
+from repro.util.units import sectors_to_gib, sectors_to_kib
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Single-pass summary of a trace (Table I columns and friends)."""
+
+    name: str
+    read_count: int
+    write_count: int
+    read_sectors: int
+    written_sectors: int
+    max_end: int
+    duration_s: float
+
+    @property
+    def op_count(self) -> int:
+        return self.read_count + self.write_count
+
+    @property
+    def read_volume_gib(self) -> float:
+        """Table I "read volume (GB)" column."""
+        return sectors_to_gib(self.read_sectors)
+
+    @property
+    def written_volume_gib(self) -> float:
+        """Table I "written volume (GB)" column."""
+        return sectors_to_gib(self.written_sectors)
+
+    @property
+    def mean_write_size_kib(self) -> float:
+        """Table I "mean write size" column (KB)."""
+        if self.write_count == 0:
+            return 0.0
+        return sectors_to_kib(self.written_sectors) / self.write_count
+
+    @property
+    def mean_read_size_kib(self) -> float:
+        if self.read_count == 0:
+            return 0.0
+        return sectors_to_kib(self.read_sectors) / self.read_count
+
+    @property
+    def read_fraction(self) -> float:
+        """Fraction of operations that are reads (0 for an empty trace)."""
+        if self.op_count == 0:
+            return 0.0
+        return self.read_count / self.op_count
+
+    @property
+    def write_intensity(self) -> float:
+        """Writes per read; ``inf`` if the trace has writes but no reads.
+
+        The paper's §V explanation for why most MSR workloads see SAF < 1 is
+        that they are write-intensive — this is that quantity.
+        """
+        if self.read_count == 0:
+            return float("inf") if self.write_count else 0.0
+        return self.write_count / self.read_count
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Compute :class:`TraceStats` for ``trace`` in one pass."""
+    read_count = 0
+    write_count = 0
+    read_sectors = 0
+    written_sectors = 0
+    first_ts = None
+    last_ts = 0.0
+    for request in trace:
+        if first_ts is None:
+            first_ts = request.timestamp
+        last_ts = request.timestamp
+        if request.is_read:
+            read_count += 1
+            read_sectors += request.length
+        else:
+            write_count += 1
+            written_sectors += request.length
+    duration = (last_ts - first_ts) if first_ts is not None else 0.0
+    return TraceStats(
+        name=trace.name,
+        read_count=read_count,
+        write_count=write_count,
+        read_sectors=read_sectors,
+        written_sectors=written_sectors,
+        max_end=trace.max_end,
+        duration_s=duration,
+    )

@@ -1,0 +1,98 @@
+"""In-memory trace container.
+
+A :class:`Trace` is a named, ordered sequence of
+:class:`~repro.trace.record.IORequest` plus the derived quantities the
+simulator needs up front (maximum LBA, so the log-structured write frontier
+can start above it, per the paper's "unwritten data sits at its LBA" rule).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.trace.record import IORequest, OpType
+
+
+class Trace:
+    """An ordered block I/O trace.
+
+    Args:
+        requests: Requests in replay order.  Timestamps are expected to be
+            non-decreasing but this is not enforced (some real traces carry
+            completion-time jitter).
+        name: Workload identifier used in reports (e.g. ``"w91"``).
+    """
+
+    def __init__(self, requests: Iterable[IORequest], name: str = "trace") -> None:
+        self._requests: List[IORequest] = list(requests)
+        self._name = name
+        self._max_end: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def requests(self) -> Sequence[IORequest]:
+        """The underlying request list (treat as read-only)."""
+        return self._requests
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[IORequest]:
+        return iter(self._requests)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self._requests[index], name=self._name)
+        return self._requests[index]
+
+    def __repr__(self) -> str:
+        return f"Trace(name={self._name!r}, n_ops={len(self._requests)})"
+
+    @property
+    def max_end(self) -> int:
+        """One past the highest sector touched by any request (0 if empty).
+
+        The log-structured translator places its initial write frontier here
+        so pre-trace ("unwritten") data can be assumed resident at
+        PBA = LBA below it.
+        """
+        if self._max_end is None:
+            self._max_end = max((r.end for r in self._requests), default=0)
+        return self._max_end
+
+    @property
+    def read_count(self) -> int:
+        return sum(1 for r in self._requests if r.is_read)
+
+    @property
+    def write_count(self) -> int:
+        return sum(1 for r in self._requests if r.is_write)
+
+    def filter(self, op: OpType) -> "Trace":
+        """Return a new trace containing only requests of direction ``op``."""
+        return Trace(
+            (r for r in self._requests if r.op is op),
+            name=f"{self._name}.{op.value}",
+        )
+
+    def renamed(self, name: str) -> "Trace":
+        """Return the same request sequence under a different name."""
+        return Trace(self._requests, name=name)
+
+    def concat(self, other: "Trace", name: Optional[str] = None) -> "Trace":
+        """Concatenate two traces, offsetting the second trace's timestamps.
+
+        The second trace's timestamps are shifted so they start right after
+        this trace's last timestamp, preserving monotonicity.
+        """
+        base = self._requests[-1].timestamp if self._requests else 0.0
+        first_other = other._requests[0].timestamp if other._requests else 0.0
+        shift = base - first_other + 1e-6 if other._requests else 0.0
+        shifted = [
+            IORequest(r.timestamp + shift, r.op, r.lba, r.length)
+            for r in other._requests
+        ]
+        return Trace(self._requests + shifted, name=name or self._name)

@@ -1,0 +1,61 @@
+"""Writers for the external trace formats the parsers accept.
+
+Round-trip companions to :mod:`repro.trace.msr` and
+:mod:`repro.trace.cloudphysics`: export any :class:`Trace` (synthetic or
+parsed) in either on-disk dialect, so archetype traces can be fed to
+external tools that consume the original formats.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+from repro.trace.trace import Trace
+from repro.util.units import SECTOR_BYTES
+
+_FILETIME_EPOCH_TICKS = 128_166_372_000_000_000  # an arbitrary 2007 instant
+_TICKS_PER_SECOND = 10_000_000
+
+
+def write_msr_trace(
+    trace: Trace,
+    path: Union[str, Path],
+    hostname: str = "host",
+    disk_number: int = 0,
+) -> None:
+    """Write ``trace`` in MSR Cambridge CSV form.
+
+    Columns: ``Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime``
+    with FILETIME timestamps and byte-granular offsets/sizes, header-less,
+    exactly as the SNIA files ship.  Response time is emitted as 0 (the
+    simulator does not model latency).
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        for request in trace:
+            ticks = _FILETIME_EPOCH_TICKS + int(
+                request.timestamp * _TICKS_PER_SECOND
+            )
+            op = "Read" if request.is_read else "Write"
+            handle.write(
+                f"{ticks},{hostname},{disk_number},{op},"
+                f"{request.lba * SECTOR_BYTES},"
+                f"{request.length * SECTOR_BYTES},0\n"
+            )
+
+
+def write_cloudphysics_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` in the CloudPhysics-style CSV dialect.
+
+    Columns: ``timestamp_us,op,lba,length`` with microsecond timestamps
+    and sector-granular addresses, with a header row.
+    """
+    path = Path(path)
+    with path.open("w") as handle:
+        handle.write("timestamp_us,op,lba,length\n")
+        for request in trace:
+            handle.write(
+                f"{request.timestamp * 1e6:.0f},{request.op.value},"
+                f"{request.lba},{request.length}\n"
+            )

@@ -1,0 +1,71 @@
+"""Shared low-level helpers: unit conversion, validation, RNG and statistics.
+
+These modules are dependency-free (standard library only) and are used by
+every other subsystem in :mod:`repro`.
+"""
+
+from repro.util.units import (
+    BYTES_PER_KIB,
+    BYTES_PER_MIB,
+    BYTES_PER_GIB,
+    SECTOR_BYTES,
+    SECTORS_PER_KIB,
+    SECTORS_PER_MIB,
+    SECTORS_PER_GIB,
+    bytes_to_sectors,
+    sectors_to_bytes,
+    sectors_to_kib,
+    sectors_to_mib,
+    sectors_to_gib,
+    kib_to_sectors,
+    mib_to_sectors,
+    gib_to_sectors,
+    format_sectors,
+)
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_range,
+    check_type,
+)
+from repro.util.rngtools import SeedSequenceFactory, spawn_rng, zipf_weights
+from repro.util.stats import (
+    OnlineStats,
+    Histogram,
+    weighted_percentile,
+    empirical_cdf,
+    cdf_at,
+    quantile_from_cdf,
+)
+
+__all__ = [
+    "BYTES_PER_KIB",
+    "BYTES_PER_MIB",
+    "BYTES_PER_GIB",
+    "SECTOR_BYTES",
+    "SECTORS_PER_KIB",
+    "SECTORS_PER_MIB",
+    "SECTORS_PER_GIB",
+    "bytes_to_sectors",
+    "sectors_to_bytes",
+    "sectors_to_kib",
+    "sectors_to_mib",
+    "sectors_to_gib",
+    "kib_to_sectors",
+    "mib_to_sectors",
+    "gib_to_sectors",
+    "format_sectors",
+    "check_non_negative",
+    "check_positive",
+    "check_range",
+    "check_type",
+    "SeedSequenceFactory",
+    "spawn_rng",
+    "zipf_weights",
+    "OnlineStats",
+    "Histogram",
+    "weighted_percentile",
+    "empirical_cdf",
+    "cdf_at",
+    "quantile_from_cdf",
+]

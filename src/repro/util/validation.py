@@ -1,0 +1,59 @@
+"""Small argument-validation helpers.
+
+Centralising these keeps error messages consistent across the library and
+keeps constructors flat (an early ``raise`` per invalid argument, then the
+happy path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple, Type, Union
+
+
+def check_non_negative(name: str, value: Union[int, float]) -> Union[int, float]:
+    """Raise :class:`ValueError` unless ``value >= 0``; return it otherwise."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_positive(name: str, value: Union[int, float]) -> Union[int, float]:
+    """Raise :class:`ValueError` unless ``value > 0``; return it otherwise."""
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_range(
+    name: str,
+    value: Union[int, float],
+    lo: Union[int, float],
+    hi: Union[int, float],
+) -> Union[int, float]:
+    """Raise :class:`ValueError` unless ``lo <= value <= hi``."""
+    if not lo <= value <= hi:
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_type(
+    name: str,
+    value: Any,
+    expected: Union[Type, Tuple[Type, ...]],
+) -> Any:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``expected``.
+
+    ``bool`` is rejected where an integer is expected, because ``True`` and
+    ``False`` silently behaving as 1/0 sector addresses is a classic source
+    of simulator bugs.
+    """
+    if expected is int and isinstance(value, bool):
+        raise TypeError(f"{name} must be int, got bool {value!r}")
+    if not isinstance(value, expected):
+        exp_name = (
+            expected.__name__
+            if isinstance(expected, type)
+            else "/".join(t.__name__ for t in expected)
+        )
+        raise TypeError(f"{name} must be {exp_name}, got {type(value).__name__}")
+    return value

@@ -1,0 +1,349 @@
+"""The paper's Table I: workload characteristics and calibrated archetypes.
+
+Each entry couples the row the paper reports (op counts, volumes, mean
+write size, guest OS) with:
+
+* a :class:`~repro.workloads.spec.WorkloadSpec` whose synthetic archetype
+  reproduces the workload's qualitative seek behaviour at a tractable
+  scale (DESIGN.md §2 documents the substitution), and
+* the paper's qualitative observations about the workload
+  (:class:`Expectations`), which the shape tests assert against.
+
+Scale note: op counts are scaled down ~100–1000× from the paper's traces
+(whose replays took the authors hours); ``synthesize_workload(..., scale=)``
+scales them back up when more fidelity is wanted.
+
+Table I erratum: the paper's read-volume column repeats 399.6 / 115.7 /
+2353 GB across the w64/w36, w93/w89 and w20/w106 pairs — an evident copy
+artifact.  ``PaperRow`` keeps the printed values verbatim; the specs use
+self-consistent mean read sizes instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.workloads.spec import ReadMix, WorkloadSpec, WriteMix
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One row of Table I, exactly as printed."""
+
+    read_count: int
+    write_count: int
+    read_gb: float
+    written_gb: float
+    mean_write_kb: float
+    guest_os: str
+
+    @property
+    def read_fraction(self) -> float:
+        return self.read_count / (self.read_count + self.write_count)
+
+
+@dataclass(frozen=True)
+class Expectations:
+    """Qualitative behaviour the paper reports for this workload.
+
+    Attributes:
+        ls_amplifies: True if Fig. 11 shows SAF > 1 under plain LS.
+        cache_is_best: True if selective caching gives the lowest SAF
+            (the paper: all workloads except usr_1 and src2_2).
+        defrag_hurts: True if opportunistic defrag worsens SAF
+            (src2_2, w93, w20).
+        prefetch_gain_large: True if prefetching helps substantially
+            (w84, w95, w91); False = marginal (usr_1, hm_1, w55, w33).
+        high_misorder: True if Fig. 8 shows a high mis-ordered write rate
+            (src2_2 ~1/20, w106 ~1/25).
+    """
+
+    ls_amplifies: bool
+    cache_is_best: bool = True
+    defrag_hurts: bool = False
+    prefetch_gain_large: Optional[bool] = None
+    high_misorder: bool = False
+
+
+@dataclass(frozen=True)
+class Table1Entry:
+    """Registry record: paper row + synthetic spec + expectations."""
+
+    paper: PaperRow
+    spec: WorkloadSpec
+    expect: Expectations
+
+
+def _entry(
+    name: str,
+    family: str,
+    paper: PaperRow,
+    expect: Expectations,
+    total_ops: int,
+    mean_read_kib: float,
+    working_set_mib: int,
+    hot_mib: int,
+    write_mix: WriteMix,
+    read_mix: ReadMix,
+    zipf_alpha: float = 1.2,
+    hot_targets_max: int = 2048,
+    overwrite_cluster: int = 2,
+    cluster_span_kib: float = 512.0,
+    interleave_writes: bool = False,
+    misorder_in_hot: bool = True,
+    phases: int = 8,
+    write_phase_decay: float = 1.0,
+) -> Table1Entry:
+    spec = WorkloadSpec(
+        name=name,
+        family=family,
+        total_ops=total_ops,
+        read_fraction=round(paper.read_fraction, 3),
+        mean_read_kib=mean_read_kib,
+        mean_write_kib=paper.mean_write_kb,
+        working_set_mib=working_set_mib,
+        hot_mib=hot_mib,
+        write_mix=write_mix,
+        read_mix=read_mix,
+        zipf_alpha=zipf_alpha,
+        hot_targets_max=hot_targets_max,
+        overwrite_cluster=overwrite_cluster,
+        cluster_span_kib=cluster_span_kib,
+        interleave_writes=interleave_writes,
+        misorder_in_hot=misorder_in_hot,
+        phases=phases,
+        write_phase_decay=write_phase_decay,
+    )
+    return Table1Entry(paper=paper, spec=spec, expect=expect)
+
+
+TABLE1: Dict[str, Table1Entry] = {
+    # ------------------------- CloudPhysics ------------------------- #
+    "w84": _entry(
+        "w84", "cloudphysics",
+        PaperRow(655397, 4158838, 13.7, 124.1, 31.2, "Red Hat Enterprise Linux 5"),
+        Expectations(ls_amplifies=False, prefetch_gain_large=True),
+        total_ops=30000, mean_read_kib=21.9, working_set_mib=1024, hot_mib=8,
+        write_mix=WriteMix(random=0.55, hot_overwrite=0.25, sequential=0.0, misordered=0.20),
+        read_mix=ReadMix(scan=0.70, random=0.30, hot=0.0, replay=0.0),
+        overwrite_cluster=12, cluster_span_kib=128.0, phases=4,
+        write_phase_decay=0.3,
+    ),
+    "w95": _entry(
+        "w95", "cloudphysics",
+        PaperRow(1264721, 2672520, 30.3, 27.7, 10.8, "Microsoft Windows Server 2008"),
+        Expectations(ls_amplifies=True, prefetch_gain_large=True),
+        total_ops=30000, mean_read_kib=25.1, working_set_mib=512, hot_mib=16,
+        write_mix=WriteMix(random=0.40, hot_overwrite=0.40, sequential=0.0, misordered=0.20),
+        read_mix=ReadMix(scan=0.55, random=0.15, hot=0.30, replay=0.0),
+        zipf_alpha=1.5, overwrite_cluster=4, phases=4, write_phase_decay=0.35,
+    ),
+    "w64": _entry(
+        "w64", "cloudphysics",
+        PaperRow(6434453, 1023814, 399.6, 36.9, 37.8, "Microsoft Windows Server 2008 R2"),
+        Expectations(ls_amplifies=True),
+        total_ops=35000, mean_read_kib=65.0, working_set_mib=512, hot_mib=48,
+        write_mix=WriteMix(random=0.72, hot_overwrite=0.18, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.30, random=0.35, hot=0.35, replay=0.0),
+        zipf_alpha=1.3, write_phase_decay=0.6,
+    ),
+    "w93": _entry(
+        "w93", "cloudphysics",
+        PaperRow(2928984, 422470, 115.7, 11.4, 28.3, "Microsoft Windows Server 2003"),
+        Expectations(ls_amplifies=True, defrag_hurts=True),
+        total_ops=30000, mean_read_kib=41.4, working_set_mib=1024, hot_mib=512,
+        write_mix=WriteMix(random=0.30, hot_overwrite=0.60, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.45, random=0.45, hot=0.10, replay=0.0),
+        zipf_alpha=1.4, hot_targets_max=1024, overwrite_cluster=1,
+        interleave_writes=True,
+    ),
+    "w20": _entry(
+        "w20", "cloudphysics",
+        PaperRow(19652684, 10189634, 2353.0, 332.8, 34.25, "Microsoft Windows Server 2003"),
+        Expectations(ls_amplifies=True, defrag_hurts=True),
+        total_ops=40000, mean_read_kib=60.0, working_set_mib=1536, hot_mib=768,
+        write_mix=WriteMix(random=0.30, hot_overwrite=0.65, sequential=0.05, misordered=0.0),
+        read_mix=ReadMix(scan=0.55, random=0.30, hot=0.15, replay=0.0),
+        zipf_alpha=1.5, hot_targets_max=512, overwrite_cluster=1,
+        interleave_writes=True,
+    ),
+    "w91": _entry(
+        "w91", "cloudphysics",
+        PaperRow(3147384, 1169222, 52.9, 15.3, 17.1, "Microsoft Windows Server 2003"),
+        Expectations(ls_amplifies=True, prefetch_gain_large=True),
+        total_ops=35000, mean_read_kib=17.6, working_set_mib=256, hot_mib=16,
+        write_mix=WriteMix(random=0.72, hot_overwrite=0.28, sequential=0.0, misordered=0.0),
+        read_mix=ReadMix(scan=0.85, random=0.05, hot=0.10, replay=0.0),
+        zipf_alpha=1.3, overwrite_cluster=24, cluster_span_kib=128.0,
+        phases=4, write_phase_decay=0.2,
+    ),
+    "w76": _entry(
+        "w76", "cloudphysics",
+        PaperRow(258852, 5817421, 30.3, 5.15, 35.7, "Microsoft Windows Server 2008 R2"),
+        Expectations(ls_amplifies=False),
+        total_ops=30000, mean_read_kib=40.0, working_set_mib=512, hot_mib=32,
+        write_mix=WriteMix(random=0.70, hot_overwrite=0.0, sequential=0.30, misordered=0.0),
+        read_mix=ReadMix(scan=0.0, random=0.60, hot=0.0, replay=0.40),
+    ),
+    "w36": _entry(
+        "w36", "cloudphysics",
+        PaperRow(113090, 18802536, 399.6, 4.02, 141.8, "Red Hat Enterprise Linux 5"),
+        Expectations(ls_amplifies=False),
+        total_ops=30000, mean_read_kib=40.0, working_set_mib=512, hot_mib=32,
+        write_mix=WriteMix(random=0.50, hot_overwrite=0.30, sequential=0.20, misordered=0.0),
+        read_mix=ReadMix(scan=0.20, random=0.20, hot=0.60, replay=0.0),
+        zipf_alpha=1.6, overwrite_cluster=8,
+    ),
+    "w89": _entry(
+        "w89", "cloudphysics",
+        PaperRow(1536898, 2089042, 115.7, 20.5, 31.7, "Microsoft Windows Server 2008 R2"),
+        Expectations(ls_amplifies=True),
+        total_ops=30000, mean_read_kib=30.0, working_set_mib=512, hot_mib=40,
+        write_mix=WriteMix(random=0.45, hot_overwrite=0.45, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.50, random=0.15, hot=0.30, replay=0.05),
+    ),
+    "w106": _entry(
+        "w106", "cloudphysics",
+        PaperRow(576666, 2699254, 2353.0, 8.4, 21.2, "Microsoft Windows Server 2003 Standard"),
+        Expectations(ls_amplifies=False, high_misorder=True),
+        total_ops=30000, mean_read_kib=20.0, working_set_mib=512, hot_mib=32,
+        write_mix=WriteMix(random=0.49, hot_overwrite=0.35, sequential=0.10, misordered=0.06),
+        read_mix=ReadMix(scan=0.50, random=0.20, hot=0.30, replay=0.0),
+        misorder_in_hot=False,
+    ),
+    "w55": _entry(
+        "w55", "cloudphysics",
+        PaperRow(7797622, 1057909, 35.8, 18.4, 18.2, "Microsoft Windows Server 2008 R2"),
+        Expectations(ls_amplifies=True, prefetch_gain_large=False),
+        total_ops=35000, mean_read_kib=4.8, working_set_mib=512, hot_mib=32,
+        write_mix=WriteMix(random=0.30, hot_overwrite=0.60, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.50, random=0.20, hot=0.30, replay=0.0),
+        overwrite_cluster=1, interleave_writes=True, write_phase_decay=0.6,
+    ),
+    "w33": _entry(
+        "w33", "cloudphysics",
+        PaperRow(7603814, 8013607, 238.0, 241.0, 31.6, "Red Hat Enterprise Linux 5"),
+        Expectations(ls_amplifies=True, prefetch_gain_large=False),
+        total_ops=40000, mean_read_kib=32.8, working_set_mib=1024, hot_mib=48,
+        write_mix=WriteMix(random=0.40, hot_overwrite=0.55, sequential=0.05, misordered=0.0),
+        read_mix=ReadMix(scan=0.55, random=0.25, hot=0.20, replay=0.0),
+        overwrite_cluster=1, interleave_writes=True, write_phase_decay=0.6,
+    ),
+    # ----------------------------- MSR ------------------------------ #
+    "usr_0": _entry(
+        "usr_0", "msr",
+        PaperRow(904483, 1333406, 35.3, 13.0, 10.2, "Microsoft Windows"),
+        Expectations(ls_amplifies=False),
+        total_ops=30000, mean_read_kib=40.9, working_set_mib=512, hot_mib=32,
+        write_mix=WriteMix(random=0.70, hot_overwrite=0.15, sequential=0.15, misordered=0.0),
+        read_mix=ReadMix(scan=0.05, random=0.40, hot=0.15, replay=0.40),
+        zipf_alpha=1.4,
+    ),
+    "src2_2": _entry(
+        "src2_2", "msr",
+        PaperRow(350930, 805955, 22.7, 39.2, 51.1, "Microsoft Windows"),
+        Expectations(
+            ls_amplifies=False, cache_is_best=False, defrag_hurts=True,
+            high_misorder=True,
+        ),
+        total_ops=30000, mean_read_kib=67.8, working_set_mib=1024, hot_mib=512,
+        write_mix=WriteMix(random=0.63, hot_overwrite=0.20, sequential=0.10, misordered=0.07),
+        read_mix=ReadMix(scan=0.35, random=0.45, hot=0.20, replay=0.0),
+        zipf_alpha=0.4, hot_targets_max=8192, overwrite_cluster=1,
+    ),
+    "hm_1": _entry(
+        "hm_1", "msr",
+        PaperRow(580896, 28415, 8.2, 0.5, 19.9, "Microsoft Windows"),
+        Expectations(ls_amplifies=True, prefetch_gain_large=False),
+        total_ops=24000, mean_read_kib=14.8, working_set_mib=256, hot_mib=8,
+        write_mix=WriteMix(random=0.0, hot_overwrite=0.55, sequential=0.15, misordered=0.30),
+        read_mix=ReadMix(scan=0.70, random=0.15, hot=0.15, replay=0.0),
+        zipf_alpha=0.9, hot_targets_max=4096, overwrite_cluster=1,
+        interleave_writes=True, misorder_in_hot=False, phases=40,
+    ),
+    "web_0": _entry(
+        "web_0", "msr",
+        PaperRow(606487, 1423458, 17.3, 11.6, 8.5, "Microsoft Windows"),
+        Expectations(ls_amplifies=False),
+        total_ops=30000, mean_read_kib=29.9, working_set_mib=512, hot_mib=32,
+        write_mix=WriteMix(random=0.55, hot_overwrite=0.35, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.10, random=0.30, hot=0.30, replay=0.30),
+        zipf_alpha=1.3,
+    ),
+    "usr_1": _entry(
+        "usr_1", "msr",
+        PaperRow(41426266, 3857714, 2079.2, 56.1, 15.2, "Microsoft Windows"),
+        Expectations(
+            ls_amplifies=True, cache_is_best=False, prefetch_gain_large=False,
+        ),
+        total_ops=40000, mean_read_kib=52.6, working_set_mib=1024, hot_mib=384,
+        write_mix=WriteMix(random=0.45, hot_overwrite=0.45, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.65, random=0.35, hot=0.0, replay=0.0),
+        zipf_alpha=0.4, hot_targets_max=8192, overwrite_cluster=1,
+        interleave_writes=True, phases=8,
+    ),
+    "wdev_0": _entry(
+        "wdev_0", "msr",
+        PaperRow(229529, 913732, 2.7, 7.1, 8.2, "Microsoft Windows"),
+        Expectations(ls_amplifies=False),
+        total_ops=28000, mean_read_kib=12.3, working_set_mib=256, hot_mib=16,
+        write_mix=WriteMix(random=0.70, hot_overwrite=0.20, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.10, random=0.30, hot=0.30, replay=0.30),
+        zipf_alpha=1.3,
+    ),
+    "mds_0": _entry(
+        "mds_0", "msr",
+        PaperRow(143973, 1067061, 3.2, 7.3, 7.2, "Microsoft Windows"),
+        Expectations(ls_amplifies=False),
+        total_ops=28000, mean_read_kib=23.3, working_set_mib=256, hot_mib=16,
+        write_mix=WriteMix(random=0.70, hot_overwrite=0.20, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.10, random=0.30, hot=0.30, replay=0.30),
+        zipf_alpha=1.3,
+    ),
+    "rsrch_0": _entry(
+        "rsrch_0", "msr",
+        PaperRow(133625, 1300030, 1.3, 10.8, 8.7, "Microsoft Windows"),
+        Expectations(ls_amplifies=False),
+        total_ops=28000, mean_read_kib=10.2, working_set_mib=256, hot_mib=16,
+        write_mix=WriteMix(random=0.70, hot_overwrite=0.20, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.10, random=0.30, hot=0.30, replay=0.30),
+        zipf_alpha=1.3,
+    ),
+    "ts_0": _entry(
+        "ts_0", "msr",
+        PaperRow(316692, 1485042, 4.1, 4.1, 8.0, "Microsoft Windows"),
+        Expectations(ls_amplifies=False),
+        total_ops=28000, mean_read_kib=13.6, working_set_mib=256, hot_mib=16,
+        write_mix=WriteMix(random=0.70, hot_overwrite=0.20, sequential=0.10, misordered=0.0),
+        read_mix=ReadMix(scan=0.10, random=0.30, hot=0.30, replay=0.30),
+        zipf_alpha=1.3,
+    ),
+}
+"""All 21 Table I workloads, keyed by name, CloudPhysics first (paper order)."""
+
+
+MSR_WORKLOADS: Tuple[str, ...] = tuple(
+    name for name, e in TABLE1.items() if e.spec.family == "msr"
+)
+CLOUDPHYSICS_WORKLOADS: Tuple[str, ...] = tuple(
+    name for name, e in TABLE1.items() if e.spec.family == "cloudphysics"
+)
+
+FIG2_MSR = ("usr_0", "src2_2", "hm_1", "web_0", "usr_1", "wdev_0", "mds_0", "rsrch_0", "ts_0")
+FIG2_CLOUDPHYSICS = CLOUDPHYSICS_WORKLOADS
+FIG3_WORKLOADS = ("usr_1", "web_0", "w91", "w55")
+FIG4_WORKLOADS = ("src2_2", "usr_0", "w84", "w64")
+FIG5_WORKLOADS = ("usr_0", "hm_1", "w20", "w36")
+FIG7_WORKLOADS = ("hm_1", "w106")
+FIG10_WORKLOADS = ("usr_1", "hm_1", "web_0", "src2_2", "w20", "w33", "w55", "w106")
+
+
+def get_spec(name: str) -> WorkloadSpec:
+    """Look up a workload spec by Table I name (KeyError lists options)."""
+    try:
+        return TABLE1[name].spec
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {', '.join(TABLE1)}"
+        ) from None

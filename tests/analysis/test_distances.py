@@ -1,0 +1,44 @@
+"""Access-distance analysis tests (Fig. 4)."""
+
+import pytest
+
+from repro.analysis.distances import clip_distances, distance_cdf, fraction_within
+from repro.util.units import gib_to_sectors
+
+
+class TestClipDistances:
+    def test_clips_both_sides(self):
+        limit = gib_to_sectors(1.0)
+        distances = [0, limit, -limit, limit + 1, -(limit + 1)]
+        assert clip_distances(distances, 1.0) == [0, limit, -limit]
+
+    def test_empty(self):
+        assert clip_distances([], 1.0) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            clip_distances([1], 0)
+
+
+class TestDistanceCdf:
+    def test_cdf_monotone(self):
+        cdf = distance_cdf([5, -3, 5, 100, -3])
+        fractions = [f for _, f in cdf]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_values_sorted(self):
+        cdf = distance_cdf([10, -10, 0])
+        assert [x for x, _ in cdf] == [-10.0, 0.0, 10.0]
+
+
+class TestFractionWithin:
+    def test_all_within(self):
+        assert fraction_within([1, -1, 100], 1.0) == 1.0
+
+    def test_partial(self):
+        limit = gib_to_sectors(1.0)
+        assert fraction_within([0, limit * 2], 1.0) == 0.5
+
+    def test_empty(self):
+        assert fraction_within([], 1.0) == 0.0

@@ -1,0 +1,57 @@
+"""Mis-ordered write detection tests (Fig. 8)."""
+
+import pytest
+
+from repro.analysis.misorder import misorder_rate, misordered_writes
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+def wtrace(*spans):
+    return Trace([IORequest.write(lba, length) for lba, length in spans])
+
+
+class TestDetection:
+    def test_reversed_pair_flagged(self):
+        # Write at 8 before the write at 0 that it sequentially follows.
+        trace = wtrace((8, 8), (0, 8))
+        assert misordered_writes(trace) == [0]
+
+    def test_ascending_pair_not_flagged(self):
+        trace = wtrace((0, 8), (8, 8))
+        assert misordered_writes(trace) == []
+
+    def test_reversed_chunk(self):
+        # Fig. 7-style descending chunk: all but the last are mis-ordered.
+        trace = wtrace((24, 8), (16, 8), (8, 8), (0, 8))
+        assert misordered_writes(trace) == [0, 1, 2]
+
+    def test_horizon_limits_lookahead(self):
+        # The matching write arrives beyond 256 KB of intervening volume.
+        filler = [(100_000 + i * 1024, 1024) for i in range(2)]  # 2 * 512 KiB
+        trace = wtrace((8, 8), *filler, (0, 8))
+        assert misordered_writes(trace, horizon_kib=256.0) == []
+        assert misordered_writes(trace, horizon_kib=2048.0) == [0]
+
+    def test_reads_ignored(self):
+        trace = Trace(
+            [
+                IORequest.write(8, 8),
+                IORequest.read(0, 8),   # a read, not a matching write
+                IORequest.write(0, 8),
+            ]
+        )
+        assert misordered_writes(trace) == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            misordered_writes(wtrace((0, 8)), horizon_kib=0)
+
+
+class TestRate:
+    def test_rate(self):
+        trace = wtrace((8, 8), (0, 8), (100, 8), (200, 8))
+        assert misorder_rate(trace) == 0.25
+
+    def test_rate_no_writes(self):
+        assert misorder_rate(Trace([IORequest.read(0, 8)])) == 0.0

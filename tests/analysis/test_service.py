@@ -1,0 +1,38 @@
+"""Service-time estimation tests."""
+
+from repro.analysis.service import ServiceTimeEstimate, estimate_service_time
+from repro.core.config import LS, LS_CACHE, NOLS
+from repro.workloads import synthesize_workload
+
+
+class TestServiceTimeEstimate:
+    def test_decomposition(self):
+        estimate = ServiceTimeEstimate(seeks=5, seek_ms=10.0, transfer_ms=30.0)
+        assert estimate.total_ms == 40.0
+        assert estimate.seek_share == 0.25
+
+    def test_zero_total(self):
+        assert ServiceTimeEstimate(0, 0.0, 0.0).seek_share == 0.0
+
+
+class TestEstimateServiceTime:
+    def setup_method(self):
+        self.trace = synthesize_workload("w91", seed=42, scale=0.1)
+
+    def test_transfer_equal_across_non_defrag_configs(self):
+        nols = estimate_service_time(self.trace, NOLS)
+        ls = estimate_service_time(self.trace, LS)
+        cache = estimate_service_time(self.trace, LS_CACHE)
+        assert nols.transfer_ms == ls.transfer_ms == cache.transfer_ms
+
+    def test_cache_cuts_seek_time_on_log_sensitive_workload(self):
+        ls = estimate_service_time(self.trace, LS)
+        cache = estimate_service_time(self.trace, LS_CACHE)
+        assert cache.seek_ms < ls.seek_ms
+        assert cache.seeks < ls.seeks
+
+    def test_positive_components(self):
+        estimate = estimate_service_time(self.trace, NOLS)
+        assert estimate.seeks > 0
+        assert estimate.seek_ms > 0.0
+        assert estimate.transfer_ms > 0.0

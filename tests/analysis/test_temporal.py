@@ -1,0 +1,69 @@
+"""Temporal long-seek analysis tests (Fig. 3)."""
+
+import pytest
+
+from repro.analysis.temporal import WindowedSeekRecorder, long_seek_difference
+from repro.core.simulator import replay
+from repro.core.translators import InPlaceTranslator
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+from repro.util.units import kib_to_sectors
+
+FAR = kib_to_sectors(600.0)   # above the 500 KB threshold
+NEAR = kib_to_sectors(100.0)  # below it
+
+
+class TestWindowedSeekRecorder:
+    def replay_with_recorder(self, requests, window_ops=2):
+        recorder = WindowedSeekRecorder(window_ops=window_ops, min_seek_kib=500.0)
+        replay(Trace(requests), InPlaceTranslator(), [recorder])
+        return recorder
+
+    def test_counts_long_seeks_per_window(self):
+        recorder = self.replay_with_recorder(
+            [
+                IORequest.read(0, 8),
+                IORequest.read(FAR * 2, 8),        # long seek, window 0
+                IORequest.read(FAR * 4, 8),        # long seek, window 1
+                IORequest.read(FAR * 4 + 8, 8),    # contiguous, no seek
+            ]
+        )
+        assert recorder.series() == [1, 1]
+
+    def test_short_seeks_ignored(self):
+        recorder = self.replay_with_recorder(
+            [IORequest.read(0, 8), IORequest.read(NEAR, 8)]
+        )
+        assert recorder.series() == [0]
+
+    def test_backward_long_seeks_counted(self):
+        recorder = self.replay_with_recorder(
+            [IORequest.read(FAR * 4, 8), IORequest.read(0, 8)]
+        )
+        assert sum(recorder.series()) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedSeekRecorder(window_ops=0)
+        with pytest.raises(ValueError):
+            WindowedSeekRecorder(min_seek_kib=-1)
+
+
+class TestLongSeekDifference:
+    def make(self, series_values, window_ops=2):
+        recorder = WindowedSeekRecorder(window_ops=window_ops)
+        recorder._counts = {i: v for i, v in enumerate(series_values) if v}
+        recorder._max_window = len(series_values) - 1
+        return recorder
+
+    def test_difference(self):
+        diff = long_seek_difference(self.make([3, 1]), self.make([1, 1]))
+        assert diff == [2, 0]
+
+    def test_length_mismatch_padded(self):
+        diff = long_seek_difference(self.make([3, 1, 2]), self.make([1]))
+        assert diff == [2, 1, 2]
+
+    def test_window_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="window sizes differ"):
+            long_seek_difference(self.make([1]), self.make([1], window_ops=5))

@@ -1,0 +1,84 @@
+"""Technique-bundle / factory tests."""
+
+from repro.core.config import (
+    ALL_CONFIGS,
+    LS,
+    LS_CACHE,
+    LS_DEFRAG,
+    LS_PREFETCH,
+    NOLS,
+    PAPER_CONFIGS,
+    build_translator,
+)
+from repro.core.translators import InPlaceTranslator, LogStructuredTranslator
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+class TestPaperConfigs:
+    def test_fig11_lineup(self):
+        assert [c.name for c in PAPER_CONFIGS] == [
+            "LS",
+            "LS+defrag",
+            "LS+prefetch",
+            "LS+cache",
+        ]
+
+    def test_all_configs_includes_baseline(self):
+        assert ALL_CONFIGS[0] is NOLS
+
+    def test_cache_config_is_64mb(self):
+        assert LS_CACHE.cache.capacity_mib == 64.0
+
+    def test_single_technique_per_paper_config(self):
+        assert LS.defrag is None and LS.prefetch is None and LS.cache is None
+        assert LS_DEFRAG.defrag is not None and LS_DEFRAG.cache is None
+        assert LS_PREFETCH.prefetch is not None and LS_PREFETCH.defrag is None
+        assert LS_CACHE.cache is not None and LS_CACHE.prefetch is None
+
+
+class TestBuildTranslator:
+    def setup_method(self):
+        self.trace = Trace([IORequest.write(100, 8)], name="t")
+
+    def test_nols_builds_in_place(self):
+        assert isinstance(build_translator(self.trace, NOLS), InPlaceTranslator)
+
+    def test_ls_frontier_above_trace(self):
+        translator = build_translator(self.trace, LS)
+        assert isinstance(translator, LogStructuredTranslator)
+        assert translator.frontier_base == self.trace.max_end
+
+    def test_techniques_wired(self):
+        assert build_translator(self.trace, LS_DEFRAG).defrag is not None
+        assert build_translator(self.trace, LS_PREFETCH).prefetcher is not None
+        assert build_translator(self.trace, LS_CACHE).cache is not None
+
+    def test_fresh_state_per_build(self):
+        a = build_translator(self.trace, LS)
+        b = build_translator(self.trace, LS)
+        a.submit(IORequest.write(0, 8))
+        assert b.frontier == b.frontier_base
+
+
+class TestLsAllConfig:
+    def test_exported_and_composed(self):
+        from repro.core.config import LS_ALL
+
+        assert LS_ALL.defrag is not None
+        assert LS_ALL.prefetch is not None
+        assert LS_ALL.cache is not None
+        assert LS_ALL.defrag.min_fragments == 4
+        assert LS_ALL.defrag.min_accesses == 2
+
+    def test_builds_fully_loaded_translator(self):
+        from repro.core.config import LS_ALL
+
+        trace = Trace([IORequest.write(0, 8)], name="t")
+        translator = build_translator(trace, LS_ALL)
+        assert translator.description == "LS+defrag+prefetch+cache"
+
+    def test_in_all_configs(self):
+        from repro.core.config import LS_ALL
+
+        assert ALL_CONFIGS[-1] is LS_ALL

@@ -1,0 +1,75 @@
+"""Paper Fig. 6 worked example, asserted exactly.
+
+The figure walks a six-LBA log through updates, a fragmented read,
+opportunistic defragmentation, a seek-free re-read, and the relocation
+penalty on an adjacent read.  These tests pin the simulator to the
+figure's seek counts.
+"""
+
+from repro.core.defrag import OpportunisticDefrag
+from repro.core.translators import LogStructuredTranslator
+from repro.trace.record import IORequest
+
+UNIT = 8  # sectors per toy LBA
+
+
+def unit_write(unit):
+    return IORequest.write(unit * UNIT, UNIT)
+
+
+def unit_read(first, last):
+    return IORequest.read(first * UNIT, (last - first + 1) * UNIT)
+
+
+def make_translator(defrag: bool) -> LogStructuredTranslator:
+    return LogStructuredTranslator(
+        frontier_base=16 * UNIT,
+        defrag=OpportunisticDefrag() if defrag else None,
+    )
+
+
+class TestFig6WithoutDefrag:
+    def test_fragmented_read_costs_three_extra_seeks(self):
+        # tC: Rd 2-5 over [2, 3', 4, 5'] = 4 fragments, 4 seeks — 3 more
+        # than the single seek a contiguous layout would cost.
+        t = make_translator(defrag=False)
+        t.submit(unit_write(3))
+        t.submit(unit_write(5))
+        outcome = t.submit(unit_read(2, 5))
+        assert outcome.fragments == 4
+        assert outcome.read_seeks == 4
+
+    def test_reread_costs_the_same_without_defrag(self):
+        t = make_translator(defrag=False)
+        t.submit(unit_write(3))
+        t.submit(unit_write(5))
+        t.submit(unit_read(2, 5))
+        assert t.submit(unit_read(2, 5)).read_seeks == 4
+
+
+class TestFig6WithDefrag:
+    def make_after_defrag(self):
+        t = make_translator(defrag=True)
+        t.submit(unit_write(3))          # tA
+        t.submit(unit_write(5))          # tB
+        first = t.submit(unit_read(2, 5))  # tC + tD (defrag)
+        return t, first
+
+    def test_first_read_triggers_rewrite(self):
+        t, first = self.make_after_defrag()
+        assert first.defrag_rewritten_sectors == 4 * UNIT
+
+    def test_reread_seek_free_modulo_initial_seek(self):
+        # tE: Rd 2-5 again — one contiguous fragment at the log head.
+        t, _ = self.make_after_defrag()
+        again = t.submit(unit_read(2, 5))
+        assert again.fragments == 1
+        assert again.read_seeks <= 1
+
+    def test_adjacent_read_pays_relocation_seek(self):
+        # tF: Rd 1-2 — LBA 1 still in place, LBA 2 moved to the log head:
+        # 2 fragments, 2 seeks where the original layout needed 1.
+        t, _ = self.make_after_defrag()
+        adjacent = t.submit(unit_read(1, 2))
+        assert adjacent.fragments == 2
+        assert adjacent.read_seeks == 2

@@ -1,0 +1,44 @@
+"""SAF metric tests."""
+
+import math
+
+from repro.core.metrics import SeekAmplification, seek_amplification
+from repro.core.outcomes import SimStats
+
+
+def stats(read=0, write=0, defrag=0):
+    return SimStats(read_seeks=read, write_seeks=write, defrag_write_seeks=defrag)
+
+
+class TestSeekAmplification:
+    def test_basic_ratios(self):
+        saf = seek_amplification(stats(read=20, write=2), stats(read=10, write=10))
+        assert saf.read == 2.0
+        assert saf.write == 0.2
+        assert saf.total == 1.1
+
+    def test_defrag_counts_as_write_seeks(self):
+        saf = seek_amplification(stats(read=0, write=1, defrag=4), stats(read=5, write=5))
+        assert saf.write == 1.0
+        assert saf.total == 0.5
+
+    def test_zero_baseline_with_seeks_is_inf(self):
+        saf = seek_amplification(stats(read=5), stats())
+        assert math.isinf(saf.read)
+        assert math.isinf(saf.total)
+
+    def test_zero_over_zero_is_one(self):
+        saf = seek_amplification(stats(), stats())
+        assert saf.read == saf.write == saf.total == 1.0
+
+    def test_improvement_over(self):
+        a = SeekAmplification(read=1, write=1, total=4.0)
+        b = SeekAmplification(read=1, write=1, total=1.0)
+        assert b.improvement_over(a) == 4.0
+        assert a.improvement_over(b) == 0.25
+
+    def test_improvement_over_zero_total(self):
+        zero = SeekAmplification(read=0, write=0, total=0.0)
+        other = SeekAmplification(read=1, write=1, total=2.0)
+        assert math.isinf(zero.improvement_over(other))
+        assert zero.improvement_over(zero) == 1.0

@@ -1,0 +1,84 @@
+"""Angular rotational-position model tests."""
+
+import pytest
+
+from repro.disk.angular import AngularSeekModel
+from repro.disk.geometry import DiskGeometry
+
+
+@pytest.fixture
+def model():
+    return AngularSeekModel(geometry=DiskGeometry(track_sectors=1000))
+
+
+class TestAngles:
+    def test_angle_of(self, model):
+        assert model.angle_of(0) == 0.0
+        assert model.angle_of(250) == 0.25
+        assert model.angle_of(1000) == 0.0   # next track, same angle
+        with pytest.raises(ValueError):
+            model.angle_of(-1)
+
+    def test_head_travel_same_track(self, model):
+        assert model.head_travel_ms(10, 20) == 0.0
+
+    def test_head_travel_grows_with_tracks(self, model):
+        near = model.head_travel_ms(0, 1000)
+        far = model.head_travel_ms(0, 1000 * 10000)
+        assert 0 < near < far <= model.max_seek_ms
+
+
+class TestSeekCosts:
+    def test_zero_distance_free(self, model):
+        assert model.seek_ms(123, 123) == 0.0
+
+    def test_short_forward_skip_is_rotational_fraction(self, model):
+        # Skipping 100 of 1000 sectors on the same track = 10% of a rev.
+        cost = model.seek_ms(0, 100)
+        assert abs(cost - 0.1 * model.geometry.revolution_ms) < 1e-9
+
+    def test_missed_rotation_costs_near_full_rev(self, model):
+        cost = model.missed_rotation_ms()
+        assert cost > 0.99 * model.geometry.revolution_ms
+
+    def test_backward_on_same_track_wraps(self, model):
+        # Going back 100 sectors means waiting 90% of a revolution.
+        cost = model.seek_ms(100, 0)
+        assert abs(cost - 0.9 * model.geometry.revolution_ms) < 1e-9
+
+    def test_cross_track_includes_travel_and_wait(self, model):
+        target = 1000 * 500  # 500 tracks away, same angle
+        cost = model.seek_ms(0, target)
+        travel = model.head_travel_ms(0, target)
+        assert cost >= travel
+        assert cost <= travel + model.geometry.revolution_ms
+
+    def test_deterministic(self, model):
+        assert model.seek_ms(7, 123456) == model.seek_ms(7, 123456)
+
+    def test_total_ms(self, model):
+        hops = [(0, 100), (100, 0)]
+        assert abs(
+            model.total_ms(hops)
+            - (model.seek_ms(0, 100) + model.seek_ms(100, 0))
+        ) < 1e-12
+
+
+class TestAgainstDistanceModel:
+    def test_missed_rotation_matches_statistical_model_scale(self, model):
+        # The distance-bucketed SeekTimeModel charges a near-full rev for a
+        # short backward hop; the angular model derives it exactly.
+        from repro.disk.seek_time import SeekTimeModel
+
+        statistical = SeekTimeModel(geometry=model.geometry)
+        angular = model.seek_ms(8, 0)
+        bucketed = statistical.seek_ms(-8)
+        assert abs(angular - bucketed) < 0.25 * model.geometry.revolution_ms
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            AngularSeekModel(min_seek_ms=0)
+        with pytest.raises(ValueError):
+            AngularSeekModel(min_seek_ms=5, max_seek_ms=1)

@@ -1,0 +1,34 @@
+"""Conventional-disk service-time estimator tests."""
+
+from repro.disk.cmr import ConventionalDisk
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+class TestConventionalDisk:
+    def test_sequential_replay_no_seek_time(self, sequential_write_trace):
+        disk = ConventionalDisk()
+        stats = disk.replay(sequential_write_trace)
+        assert stats.seeks == 0
+        assert stats.seek_ms == 0.0
+        assert stats.transfer_ms > 0.0
+
+    def test_random_replay_accumulates_seek_time(self):
+        disk = ConventionalDisk()
+        trace = Trace(
+            [IORequest.read(i * 1_000_000, 8) for i in range(10)]
+        )
+        stats = disk.replay(trace)
+        assert stats.seeks == 9  # first access free
+        assert stats.seek_ms > 0.0
+
+    def test_submit_returns_service_time(self):
+        disk = ConventionalDisk()
+        first = disk.submit(IORequest.read(0, 8))
+        second = disk.submit(IORequest.read(10_000_000, 8))
+        assert first < second  # second pays a long seek
+
+    def test_total_ms(self):
+        disk = ConventionalDisk()
+        disk.submit(IORequest.read(0, 8))
+        assert disk.stats.total_ms == disk.stats.seek_ms + disk.stats.transfer_ms

@@ -1,0 +1,111 @@
+"""Drive-managed media-cache STL tests (paper §II baseline)."""
+
+import random
+
+import pytest
+
+from repro.disk.media_cache import MediaCacheSTL
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+from repro.util.units import mib_to_sectors
+
+
+def small_stl(cache_mib=0.125):
+    # 0.125 MiB = 256-sector media cache: cleaning triggers quickly.
+    return MediaCacheSTL(data_sectors=10_000, cache_mib=cache_mib)
+
+
+class TestWrites:
+    def test_write_appends_to_cache(self):
+        stl = small_stl()
+        stl.submit(IORequest.write(100, 8))
+        assert stl.cache_used_sectors == 8
+        assert stl.stats.host_written_sectors == 8
+
+    def test_back_to_back_writes_no_seek(self):
+        stl = small_stl()
+        stl.submit(IORequest.write(5000, 8))
+        stl.submit(IORequest.write(100, 8))
+        assert stl.stats.write_seeks == 0  # both append to the cache log
+
+    def test_cleaning_triggers_when_full(self):
+        stl = small_stl()
+        for i in range(40):  # 40 * 8 = 320 sectors > 256-sector cache
+            stl.submit(IORequest.write(i * 16, 8))
+        assert stl.stats.cleanings >= 1
+        assert stl.stats.write_amplification > 1.0
+
+    def test_oversized_write_rejected(self):
+        stl = small_stl()
+        with pytest.raises(ValueError, match="exceeds media cache"):
+            stl.submit(IORequest.write(0, 1000))
+
+    def test_out_of_range_request_rejected(self):
+        stl = small_stl()
+        with pytest.raises(ValueError, match="outside data region"):
+            stl.submit(IORequest.write(9_999, 8))
+
+
+class TestReads:
+    def test_read_after_write_backs_up_to_cached_copy(self):
+        stl = small_stl()
+        stl.submit(IORequest.write(100, 8))
+        stl.submit(IORequest.read(100, 8))
+        # The head sits just past the freshly logged copy; re-reading it
+        # requires backing up 8 sectors (a missed rotation).
+        assert stl.stats.read_seeks == 1
+        assert stl.stats.seek_distances == [-8]
+
+    def test_read_of_clean_data_in_place(self):
+        stl = small_stl()
+        stl.submit(IORequest.read(100, 8))
+        stl.submit(IORequest.read(108, 8))
+        assert stl.stats.read_seeks == 0  # sequential in data region
+
+    def test_fragmented_read_spans_cache_and_data(self):
+        stl = small_stl()
+        stl.submit(IORequest.write(104, 8))     # middle of a range, dirty
+        stl.submit(IORequest.read(96, 24))      # [clean, dirty, clean]
+        assert stl.stats.read_seeks >= 2
+
+
+class TestCleaning:
+    def test_cleaning_restores_spatial_order(self):
+        stl = small_stl()
+        rng = random.Random(1)
+        for _ in range(40):
+            stl.submit(IORequest.write(rng.randrange(0, 1200) * 8, 8))
+        assert stl.stats.cleanings >= 1
+        # After cleaning, a read of cleaned data is served in place with at
+        # most one seek.
+        before = stl.stats.read_seeks
+        stl.submit(IORequest.read(0, 64))
+        assert stl.stats.read_seeks - before <= 1
+
+    def test_waf_accounts_cleaned_sectors(self):
+        stl = small_stl()
+        for i in range(40):
+            stl.submit(IORequest.write(i * 16, 8))
+        stats = stl.stats
+        assert stats.disk_written_sectors == (
+            stats.host_written_sectors + stats.cleaned_sectors
+        )
+
+    def test_replay_returns_stats(self):
+        stl = small_stl()
+        trace = Trace([IORequest.write(0, 8), IORequest.read(0, 8)])
+        stats = stl.replay(trace)
+        assert stats is stl.stats
+        assert stats.host_read_sectors == 8
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            MediaCacheSTL(data_sectors=0)
+        with pytest.raises(ValueError):
+            MediaCacheSTL(data_sectors=100, cache_mib=0)
+
+    def test_cache_sizing(self):
+        stl = MediaCacheSTL(data_sectors=1000, cache_mib=2)
+        assert stl.cache_sectors == mib_to_sectors(2)

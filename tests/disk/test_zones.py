@@ -1,0 +1,107 @@
+"""SMR zone model tests (paper §II / Fig. 1 semantics)."""
+
+import pytest
+
+from repro.disk.zones import SequentialZoneError, ZonedAddressSpace
+
+
+@pytest.fixture
+def zas():
+    return ZonedAddressSpace(zone_sectors=100, n_zones=4)
+
+
+class TestLayout:
+    def test_capacity(self, zas):
+        assert zas.capacity_sectors == 400
+
+    def test_zone_for(self, zas):
+        assert zas.zone_for(0).zone_id == 0
+        assert zas.zone_for(99).zone_id == 0
+        assert zas.zone_for(100).zone_id == 1
+        assert zas.zone_for(399).zone_id == 3
+
+    def test_zone_for_out_of_range(self, zas):
+        with pytest.raises(ValueError):
+            zas.zone_for(400)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ZonedAddressSpace(zone_sectors=0)
+        with pytest.raises(ValueError):
+            ZonedAddressSpace(n_zones=0)
+        with pytest.raises(ValueError):
+            ZonedAddressSpace(n_zones=2, conventional_zones=3)
+
+
+class TestSequentialWriteConstraint:
+    def test_write_at_pointer_ok(self, zas):
+        zas.write(0, 10)
+        assert zas.zones[0].write_pointer == 10
+
+    def test_write_not_at_pointer_rejected(self, zas):
+        with pytest.raises(SequentialZoneError, match="write pointer"):
+            zas.write(5, 10)
+
+    def test_rewrite_requires_reset(self, zas):
+        zas.write(0, 100)
+        assert zas.zones[0].is_full
+        with pytest.raises(SequentialZoneError):
+            zas.write(0, 1)
+        zas.reset(0)
+        assert zas.zones[0].is_empty
+        zas.write(0, 1)  # now ok
+
+    def test_write_crossing_zone_end_rejected(self, zas):
+        with pytest.raises(SequentialZoneError, match="crosses zone"):
+            zas.write(0, 101)
+
+    def test_invalid_length(self, zas):
+        with pytest.raises(ValueError):
+            zas.write(0, 0)
+
+
+class TestConventionalZones:
+    def test_random_writes_allowed(self):
+        zas = ZonedAddressSpace(zone_sectors=100, n_zones=2, conventional_zones=1)
+        zas.write(50, 10)  # anywhere in zone 0
+        zas.write(0, 10)
+        assert zas.zones[0].write_pointer == 60  # high-water mark
+
+    def test_sequential_zone_still_enforced(self):
+        zas = ZonedAddressSpace(zone_sectors=100, n_zones=2, conventional_zones=1)
+        with pytest.raises(SequentialZoneError):
+            zas.write(150, 10)
+
+
+class TestAppendAllocator:
+    def test_append_within_zone(self, zas):
+        pieces = zas.append(30)
+        assert pieces == [(0, 30)]
+
+    def test_append_across_zones(self, zas):
+        zas.append(90)
+        pieces = zas.append(30)
+        assert pieces == [(90, 10), (100, 20)]
+
+    def test_append_skips_conventional(self):
+        zas = ZonedAddressSpace(zone_sectors=100, n_zones=3, conventional_zones=1)
+        assert zas.append(10) == [(100, 10)]
+
+    def test_append_device_full(self, zas):
+        zas.append(400)
+        with pytest.raises(SequentialZoneError, match="device full"):
+            zas.append(1)
+
+    def test_append_invalid(self, zas):
+        with pytest.raises(ValueError):
+            zas.append(0)
+
+
+class TestZoneProperties:
+    def test_counters(self, zas):
+        zone = zas.zones[0]
+        assert zone.remaining_sectors == 100
+        zas.write(0, 40)
+        assert zone.written_sectors == 40
+        assert zone.remaining_sectors == 60
+        assert not zone.is_full and not zone.is_empty

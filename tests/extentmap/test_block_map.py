@@ -1,0 +1,59 @@
+"""BlockMap reference-implementation tests."""
+
+import pytest
+
+from repro.extentmap.base import Segment
+from repro.extentmap.block_map import BlockMap
+
+
+@pytest.fixture
+def bmap():
+    return BlockMap()
+
+
+class TestBlockMap:
+    def test_unmapped_hole(self, bmap):
+        assert bmap.lookup(0, 5) == [Segment(0, None, 5)]
+
+    def test_simple_map(self, bmap):
+        bmap.map_range(10, 1000, 4)
+        assert bmap.lookup(10, 4) == [Segment(10, 1000, 4)]
+
+    def test_run_coalescing(self, bmap):
+        bmap.map_range(0, 100, 2)
+        bmap.map_range(2, 102, 2)
+        assert bmap.lookup(0, 4) == [Segment(0, 100, 4)]
+
+    def test_discontiguous_runs(self, bmap):
+        bmap.map_range(0, 100, 2)
+        bmap.map_range(2, 200, 2)
+        assert bmap.lookup(0, 4) == [Segment(0, 100, 2), Segment(2, 200, 2)]
+
+    def test_overwrite(self, bmap):
+        bmap.map_range(0, 100, 4)
+        bmap.map_range(1, 200, 2)
+        assert bmap.lookup(0, 4) == [
+            Segment(0, 100, 1),
+            Segment(1, 200, 2),
+            Segment(3, 103, 1),
+        ]
+
+    def test_mapped_extent_count(self, bmap):
+        bmap.map_range(0, 100, 2)
+        bmap.map_range(2, 102, 2)   # merges with previous
+        bmap.map_range(10, 300, 1)
+        assert bmap.mapped_extent_count() == 2
+
+    def test_mapped_extent_count_empty(self, bmap):
+        assert bmap.mapped_extent_count() == 0
+
+    def test_mapped_sector_count(self, bmap):
+        bmap.map_range(0, 100, 4)
+        bmap.map_range(2, 200, 4)
+        assert bmap.mapped_sector_count() == 6
+
+    def test_invalid_args(self, bmap):
+        with pytest.raises(ValueError):
+            bmap.map_range(0, 0, 0)
+        with pytest.raises(ValueError):
+            bmap.lookup(0, 0)

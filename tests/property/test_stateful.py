@@ -1,0 +1,118 @@
+"""Stateful (rule-based) property machines.
+
+Hypothesis drives arbitrary interleavings of operations against the
+production structures while a trivially-correct model shadows them —
+catching ordering-dependent bugs that example-based and sequence-based
+tests miss.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.core.translators import LogStructuredTranslator
+from repro.extentmap.block_map import BlockMap
+from repro.extentmap.extent_map import ExtentMap
+from repro.trace.record import IORequest
+
+SPACE = 128
+
+
+class ExtentMapMachine(RuleBasedStateMachine):
+    """ExtentMap must track the BlockMap executable spec at every step."""
+
+    def __init__(self):
+        super().__init__()
+        self.emap = ExtentMap()
+        self.bmap = BlockMap()
+        self.next_pba = 1000
+
+    @rule(
+        lba=st.integers(min_value=0, max_value=SPACE - 1),
+        length=st.integers(min_value=1, max_value=24),
+    )
+    def map_fresh(self, lba, length):
+        self.emap.map_range(lba, self.next_pba, length)
+        self.bmap.map_range(lba, self.next_pba, length)
+        self.next_pba += length
+
+    @rule(
+        lba=st.integers(min_value=0, max_value=SPACE - 1),
+        length=st.integers(min_value=1, max_value=24),
+        pba=st.integers(min_value=0, max_value=500),
+    )
+    def map_aliased(self, lba, length, pba):
+        # Reusing physical addresses exercises merge logic aggressively.
+        self.emap.map_range(lba, pba, length)
+        self.bmap.map_range(lba, pba, length)
+
+    @rule(
+        lba=st.integers(min_value=0, max_value=SPACE - 1),
+        length=st.integers(min_value=1, max_value=48),
+    )
+    def lookup_agrees(self, lba, length):
+        assert self.emap.lookup(lba, length) == self.bmap.lookup(lba, length)
+
+    @invariant()
+    def sector_counts_agree(self):
+        assert self.emap.mapped_sector_count() == self.bmap.mapped_sector_count()
+
+    @invariant()
+    def extents_canonical(self):
+        extents = list(self.emap)
+        for a, b in zip(extents, extents[1:]):
+            assert a.lba_end <= b.lba
+            assert not (a.lba_end == b.lba and a.pba_end == b.pba)
+
+
+ExtentMapMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=60, deadline=None
+)
+TestExtentMapMachine = ExtentMapMachine.TestCase
+
+
+class TranslatorMachine(RuleBasedStateMachine):
+    """The log-structured translator must serve the latest data always."""
+
+    def __init__(self):
+        super().__init__()
+        self.translator = LogStructuredTranslator(frontier_base=SPACE)
+        self.shadow = {}  # sector -> pba of latest copy
+        self.frontier = SPACE
+
+    @rule(
+        lba=st.integers(min_value=0, max_value=SPACE - 1),
+        length=st.integers(min_value=1, max_value=16),
+    )
+    def write(self, lba, length):
+        length = min(length, SPACE - lba)
+        self.translator.submit(IORequest.write(lba, length))
+        for offset in range(length):
+            self.shadow[lba + offset] = self.frontier + offset
+        self.frontier += length
+
+    @rule(
+        lba=st.integers(min_value=0, max_value=SPACE - 1),
+        length=st.integers(min_value=1, max_value=32),
+    )
+    def read_resolves_latest(self, lba, length):
+        length = min(length, SPACE - lba)
+        outcome = self.translator.submit(IORequest.read(lba, length))
+        cursor = lba
+        for access in outcome.accesses:
+            for offset in range(access.length):
+                sector = cursor + offset
+                expected = self.shadow.get(sector, sector)
+                assert access.pba + offset == expected
+            cursor += access.length
+        assert cursor == lba + length
+
+    @invariant()
+    def frontier_consistent(self):
+        assert self.translator.frontier == self.frontier
+
+
+TranslatorMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=50, deadline=None
+)
+TestTranslatorMachine = TranslatorMachine.TestCase

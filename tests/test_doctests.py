@@ -1,0 +1,30 @@
+"""Execute the doctests embedded in module docstrings.
+
+Several substrate modules carry usage examples in their docstrings; this
+keeps them honest.
+"""
+
+import doctest
+
+import pytest
+
+import repro.disk.head
+import repro.trace.record
+import repro.util.rngtools
+import repro.util.stats
+import repro.util.units
+
+MODULES = [
+    repro.util.units,
+    repro.util.rngtools,
+    repro.util.stats,
+    repro.trace.record,
+    repro.disk.head,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    failures, tests = doctest.testmod(module)
+    assert tests > 0, f"{module.__name__} has no doctests to run"
+    assert failures == 0

@@ -1,0 +1,68 @@
+"""Public API surface tests.
+
+The names a downstream user imports from ``repro`` and its subpackages
+must exist, be importable, and stay consistent with ``__all__``.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.extentmap",
+    "repro.disk",
+    "repro.cache",
+    "repro.trace",
+    "repro.workloads",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.util",
+]
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_names(self):
+        for name in (
+            "synthesize_workload",
+            "build_translator",
+            "replay",
+            "seek_amplification",
+            "NOLS",
+            "LS",
+            "LS_DEFRAG",
+            "LS_PREFETCH",
+            "LS_CACHE",
+            "PAPER_CONFIGS",
+        ):
+            assert hasattr(repro, name), name
+
+
+class TestSubpackages:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_importable(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__, f"{module_name} lacks a module docstring"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_exports_resolve(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_every_public_item_documented(self):
+        for module_name in SUBPACKAGES:
+            module = importlib.import_module(module_name)
+            for name in getattr(module, "__all__", []):
+                item = getattr(module, name)
+                if callable(item) or isinstance(item, type):
+                    assert item.__doc__, f"{module_name}.{name} lacks a docstring"

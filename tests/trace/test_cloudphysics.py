@@ -1,0 +1,48 @@
+"""CloudPhysics-style parser tests."""
+
+import pytest
+
+from repro.trace.cloudphysics import parse_cloudphysics_file, parse_cloudphysics_lines
+
+CP_SAMPLE = [
+    "timestamp_us,op,lba,length",
+    "1000000,R,2048,8",
+    "2000000,W,0,16",
+    "2500000,w,128,8,450",  # extra latency column tolerated
+]
+
+
+class TestParseCloudphysicsLines:
+    def test_parses_with_header(self):
+        trace = parse_cloudphysics_lines(CP_SAMPLE, name="w91")
+        assert len(trace) == 3
+        assert trace[0].is_read and trace[0].lba == 2048
+
+    def test_timestamp_rebase_microseconds(self):
+        trace = parse_cloudphysics_lines(CP_SAMPLE)
+        assert trace[0].timestamp == 0.0
+        assert abs(trace[1].timestamp - 1.0) < 1e-9
+
+    def test_max_ops(self):
+        assert len(parse_cloudphysics_lines(CP_SAMPLE, max_ops=1)) == 1
+
+    def test_skips_non_positive_length(self):
+        lines = ["1,R,0,0", "2,R,0,4"]
+        assert len(parse_cloudphysics_lines(lines)) == 1
+
+    def test_bad_record(self):
+        with pytest.raises(ValueError, match="bad CloudPhysics record"):
+            parse_cloudphysics_lines(["abc,R,x,8"])
+
+    def test_too_few_fields(self):
+        with pytest.raises(ValueError, match="expected >=4"):
+            parse_cloudphysics_lines(["1,R,2"])
+
+
+class TestParseCloudphysicsFile:
+    def test_file_parsing(self, tmp_path):
+        path = tmp_path / "w91.csv"
+        path.write_text("\n".join(CP_SAMPLE) + "\n")
+        trace = parse_cloudphysics_file(path)
+        assert trace.name == "w91"
+        assert len(trace) == 3

@@ -1,0 +1,52 @@
+"""Native CSV trace round-trip tests."""
+
+import pytest
+
+from repro.trace.csvio import read_csv_trace, write_csv_trace
+from repro.trace.record import IORequest
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv_trace(tiny_trace, path)
+        loaded = read_csv_trace(path)
+        assert len(loaded) == len(tiny_trace)
+        for a, b in zip(loaded, tiny_trace):
+            assert (a.op, a.lba, a.length) == (b.op, b.lba, b.length)
+            assert abs(a.timestamp - b.timestamp) < 1e-6
+
+    def test_name_defaults_to_stem(self, tiny_trace, tmp_path):
+        path = tmp_path / "wl91.csv"
+        write_csv_trace(tiny_trace, path)
+        assert read_csv_trace(path).name == "wl91"
+
+    def test_explicit_name(self, tiny_trace, tmp_path):
+        path = tmp_path / "x.csv"
+        write_csv_trace(tiny_trace, path)
+        assert read_csv_trace(path, name="custom").name == "custom"
+
+
+class TestReadFormats:
+    def test_headerless(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.5,R,100,8\n1.0,W,0,16\n")
+        trace = read_csv_trace(path)
+        assert len(trace) == 2
+        assert trace[0].is_read and trace[0].lba == 100
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("# comment\n\n0.0,R,0,1\n")
+        assert len(read_csv_trace(path)) == 1
+
+    def test_bad_row_reports_line(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.0,R,0,1\nnot,a,row\n")
+        with pytest.raises(ValueError, match="t.csv:2"):
+            read_csv_trace(path)
+
+    def test_extra_columns_tolerated(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text("0.0,R,0,1,extra\n")
+        assert len(read_csv_trace(path)) == 1

@@ -1,0 +1,61 @@
+"""MSR trace-format parser tests."""
+
+import pytest
+
+from repro.trace.msr import parse_msr_file, parse_msr_lines
+
+# Timestamp(100ns ticks), Hostname, Disk, Type, Offset(bytes), Size(bytes), Latency
+MSR_SAMPLE = [
+    "128166372003061629,hm,1,Read,2048,4096,1221",
+    "128166372013061629,hm,1,Write,512,512,900",
+    "128166372023061629,hm,0,Read,0,4096,800",       # other disk
+    "128166372033061629,hm,1,Read,10240,1536,700",   # non-sector-multiple size
+]
+
+
+class TestParseMsrLines:
+    def test_parses_ops(self):
+        trace = parse_msr_lines(MSR_SAMPLE, name="hm_1")
+        assert len(trace) == 4
+        assert trace[0].is_read
+        assert trace[1].is_write
+
+    def test_byte_to_sector_conversion(self):
+        trace = parse_msr_lines(MSR_SAMPLE)
+        assert trace[0].lba == 4       # 2048 / 512
+        assert trace[0].length == 8    # 4096 / 512
+        assert trace[3].length == 3    # 1536 / 512
+
+    def test_timestamp_rebase(self):
+        trace = parse_msr_lines(MSR_SAMPLE)
+        assert trace[0].timestamp == 0.0
+        assert abs(trace[1].timestamp - 1.0) < 1e-9  # 10^7 ticks = 1 s
+
+    def test_disk_filter(self):
+        trace = parse_msr_lines(MSR_SAMPLE, disk_number=1)
+        assert len(trace) == 3
+        assert all(True for _ in trace)
+
+    def test_max_ops(self):
+        assert len(parse_msr_lines(MSR_SAMPLE, max_ops=2)) == 2
+
+    def test_skips_zero_size(self):
+        lines = ["128166372003061629,hm,1,Read,0,0,100"] + MSR_SAMPLE[:1]
+        assert len(parse_msr_lines(lines)) == 1
+
+    def test_bad_record_raises_with_location(self):
+        with pytest.raises(ValueError, match="bad:2"):
+            parse_msr_lines([MSR_SAMPLE[0], "garbage,x,y,z,1,2"], name="bad")
+
+    def test_too_few_fields(self):
+        with pytest.raises(ValueError, match="expected >=6"):
+            parse_msr_lines(["1,2,3"])
+
+
+class TestParseMsrFile:
+    def test_file_parsing(self, tmp_path):
+        path = tmp_path / "src2_2.csv"
+        path.write_text("\n".join(MSR_SAMPLE) + "\n")
+        trace = parse_msr_file(path)
+        assert trace.name == "src2_2"
+        assert len(trace) == 4

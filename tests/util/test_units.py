@@ -1,0 +1,65 @@
+"""Unit-conversion tests."""
+
+import pytest
+
+from repro.util import units
+
+
+class TestBytesToSectors:
+    def test_exact_sector(self):
+        assert units.bytes_to_sectors(512) == 1
+
+    def test_rounds_up(self):
+        assert units.bytes_to_sectors(513) == 2
+
+    def test_zero(self):
+        assert units.bytes_to_sectors(0) == 0
+
+    def test_just_below_sector(self):
+        assert units.bytes_to_sectors(511) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.bytes_to_sectors(-1)
+
+
+class TestRoundTrips:
+    def test_sectors_to_bytes(self):
+        assert units.sectors_to_bytes(3) == 1536
+
+    def test_kib_round_trip(self):
+        assert units.sectors_to_kib(units.kib_to_sectors(64)) == 64.0
+
+    def test_mib_round_trip(self):
+        assert units.sectors_to_mib(units.mib_to_sectors(7)) == 7.0
+
+    def test_gib_round_trip(self):
+        assert units.sectors_to_gib(units.gib_to_sectors(2)) == 2.0
+
+    def test_fractional_kib_rounds_up(self):
+        assert units.kib_to_sectors(0.25) == 1
+
+    def test_constants_consistent(self):
+        assert units.SECTORS_PER_KIB == 2
+        assert units.SECTORS_PER_MIB == 2048
+        assert units.SECTORS_PER_GIB == 2048 * 1024
+
+
+class TestFormatSectors:
+    def test_bytes(self):
+        assert units.format_sectors(1) == "512B"
+
+    def test_kib(self):
+        assert units.format_sectors(4) == "2.0KiB"
+
+    def test_mib(self):
+        assert units.format_sectors(2048) == "1.0MiB"
+
+    def test_gib(self):
+        assert units.format_sectors(units.gib_to_sectors(3)) == "3.00GiB"
+
+    def test_negative_keeps_sign(self):
+        assert units.format_sectors(-4) == "-2.0KiB"
+
+    def test_zero(self):
+        assert units.format_sectors(0) == "0B"

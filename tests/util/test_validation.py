@@ -1,0 +1,61 @@
+"""Validation-helper tests."""
+
+import pytest
+
+from repro.util.validation import (
+    check_non_negative,
+    check_positive,
+    check_range,
+    check_type,
+)
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_accepts_positive(self):
+        assert check_non_negative("x", 5.5) == 5.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_non_negative("x", -1)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("n", 1) == 1
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="n must be > 0"):
+            check_positive("n", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("n", -3)
+
+
+class TestCheckRange:
+    def test_accepts_bounds(self):
+        assert check_range("f", 0.0, 0.0, 1.0) == 0.0
+        assert check_range("f", 1.0, 0.0, 1.0) == 1.0
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError, match=r"f must be in \[0.0, 1.0\]"):
+            check_range("f", 1.5, 0.0, 1.0)
+
+
+class TestCheckType:
+    def test_accepts_exact_type(self):
+        assert check_type("x", 3, int) == 3
+
+    def test_rejects_bool_as_int(self):
+        with pytest.raises(TypeError, match="x must be int, got bool"):
+            check_type("x", True, int)
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("x", "3", int)
+
+    def test_tuple_of_types(self):
+        assert check_type("x", 3.5, (int, float)) == 3.5

@@ -1,0 +1,30 @@
+"""Workload-synthesis CLI tests."""
+
+import pytest
+
+from repro.workloads.__main__ import main
+
+
+class TestWorkloadsCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "w91" in out and "cloudphysics" in out
+        assert "defrag-hurts" in out
+
+    def test_generate_with_stats(self, capsys):
+        assert main(["ts_0", "--scale", "0.05", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "ts_0:" in out
+        assert "predicted" in out
+
+    def test_export_csv(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.csv"
+        assert main(["rsrch_0", "--scale", "0.05", "--out", str(out_file)]) == 0
+        content = out_file.read_text().splitlines()
+        assert content[0] == "timestamp,op,lba,length"
+        assert len(content) > 100
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-workload"])
