@@ -2,13 +2,21 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench experiments charts lint-clean all
+.PHONY: install test smoke bench experiments charts lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Crash-safety smoke: a tiny full run with failure isolation, then a
+# resume of the same run (which must skip every exhibit).  See
+# docs/ROBUSTNESS.md; the same contract runs in the test suite as
+# tests/integration/test_smoke_resume.py.
+smoke:
+	$(PYTHON) -m repro.experiments all --scale 0.05 --out /tmp/smoke --keep-going
+	$(PYTHON) -m repro.experiments all --scale 0.05 --out /tmp/smoke --keep-going --resume
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -55,6 +55,13 @@ def main() -> None:
     parser.add_argument("trace", nargs="?", help="MSR-format CSV trace file")
     parser.add_argument("--max-ops", type=int, default=None)
     parser.add_argument("--disk", type=int, default=None, help="disk number filter")
+    parser.add_argument(
+        "--policy",
+        choices=("strict", "lenient", "quarantine"),
+        default="lenient",
+        help="malformed-record handling; real dumps are dirty, so the "
+        "example defaults to lenient (see docs/ROBUSTNESS.md)",
+    )
     args = parser.parse_args()
 
     if args.trace:
@@ -64,11 +71,17 @@ def main() -> None:
         write_demo_msr_file(path)
         print(f"(no trace given: wrote demo MSR file to {path})")
 
-    trace = parse_msr_file(path, disk_number=args.disk, max_ops=args.max_ops)
+    trace = parse_msr_file(
+        path, disk_number=args.disk, max_ops=args.max_ops, policy=args.policy
+    )
     if len(trace) == 0:
         sys.exit("trace is empty after filtering")
     print(f"parsed {len(trace)} ops from {path.name}: "
           f"{trace.read_count} reads / {trace.write_count} writes")
+    report = trace.parse_report
+    if report is not None and report.malformed:
+        print(f"({report.malformed} malformed records dropped; "
+              f"first: {report.errors[0].reason})")
 
     baseline = replay(trace, build_translator(trace, NOLS))
     print(f"\n{'config':14} {'SAF total':>9}")

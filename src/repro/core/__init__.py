@@ -19,7 +19,12 @@ from repro.core.translators import (
 from repro.core.defrag import DefragConfig, OpportunisticDefrag
 from repro.core.prefetch import LookAheadBehindPrefetcher, PrefetchConfig
 from repro.core.selective_cache import SelectiveCacheConfig, SelectiveFragmentCache
-from repro.core.simulator import RunResult, Simulator, replay
+from repro.core.errors import (
+    RetriesExhaustedError,
+    SimulationError,
+    TransientIOError,
+)
+from repro.core.simulator import RetryPolicy, RunResult, Simulator, replay
 from repro.core.recorders import (
     Recorder,
     SeekRecord,
@@ -58,8 +63,12 @@ __all__ = [
     "SelectiveCacheConfig",
     "SelectiveFragmentCache",
     "RunResult",
+    "RetryPolicy",
     "Simulator",
     "replay",
+    "SimulationError",
+    "TransientIOError",
+    "RetriesExhaustedError",
     "Recorder",
     "SeekRecord",
     "SeekLogRecorder",

@@ -313,10 +313,21 @@ class ZonedCleaningTranslator(Translator):
         return pieces
 
     def _invalidate(self, lba: int, length: int) -> None:
-        """Decrement live counts for data about to be overwritten."""
+        """Decrement live counts for data about to be overwritten.
+
+        A mapped segment may span a zone boundary (the extent map merges
+        pieces that are contiguous in both LBA and PBA, and consecutive
+        zones are PBA-contiguous), so the decrement is split per zone.
+        """
         for segment in self._map.lookup(lba, length):
             if segment.is_hole or segment.pba < self._base:
                 continue
-            zone = self._zones.zone_for(segment.pba - self._base)
-            ledger = self._ledgers[zone.zone_id]
-            ledger.live_sectors = max(0, ledger.live_sectors - segment.length)
+            pba = segment.pba - self._base
+            remaining = segment.length
+            while remaining:
+                zone = self._zones.zone_for(pba)
+                take = min(remaining, zone.end - pba)
+                ledger = self._ledgers[zone.zone_id]
+                ledger.live_sectors = max(0, ledger.live_sectors - take)
+                pba += take
+                remaining -= take

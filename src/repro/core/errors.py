@@ -1,0 +1,39 @@
+"""Simulation-layer exceptions.
+
+These live in :mod:`repro.core` (not :mod:`repro.faults`) so the simulator
+can handle them without depending on the fault-injection subsystem: any
+translator — a fault wrapper, or a future real-device backend — may raise
+:class:`TransientIOError` to signal a retryable failure.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for errors raised while serving simulated I/O."""
+
+
+class TransientIOError(SimulationError):
+    """A retryable device error (e.g. an unrecovered-read retried in place).
+
+    The simulator's service path catches this and retries the request under
+    its :class:`~repro.core.simulator.RetryPolicy`.  Translators must raise
+    it *before* mutating any state (head position, address map) so a retry
+    replays the request cleanly.
+    """
+
+    def __init__(self, message: str = "transient I/O error", attempt: int = 0) -> None:
+        super().__init__(message)
+        self.attempt = attempt
+
+
+class RetriesExhaustedError(SimulationError):
+    """A request kept failing past the retry policy's attempt budget."""
+
+    def __init__(self, op_index: int, attempts: int, last: TransientIOError) -> None:
+        super().__init__(
+            f"op {op_index} failed after {attempts} attempts: {last}"
+        )
+        self.op_index = op_index
+        self.attempts = attempts
+        self.last = last

@@ -111,10 +111,22 @@ class SimStats:
     defrag_rewritten_sectors: int = 0
     sectors_read: int = 0
     sectors_written: int = 0
+    transient_errors: int = 0
+    retried_ops: int = 0
+    retry_backoff_s: float = 0.0
 
     @property
     def ops(self) -> int:
         return self.reads + self.writes
+
+    @property
+    def seek_counters(self) -> Tuple[int, int, int]:
+        """The (read, write, defrag) seek triple — the SAF-relevant core.
+
+        Fault-injection tests compare this across runs: transient errors
+        retried by the simulator must never perturb seek accounting.
+        """
+        return (self.read_seeks, self.write_seeks, self.defrag_write_seeks)
 
     @property
     def total_seeks(self) -> int:

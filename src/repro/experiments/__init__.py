@@ -10,6 +10,22 @@ Command line::
     python -m repro.experiments fig11 --seed 42 --scale 1.0 --out results/
 """
 
-from repro.experiments.registry import EXHIBITS, run_exhibit
+from repro.experiments.registry import EXHIBITS, resolve_names, run_exhibit
+from repro.experiments.runner import (
+    ExhibitOutcome,
+    ExhibitTimeoutError,
+    RunManifest,
+    exhibit_fingerprint,
+    run_exhibits,
+)
 
-__all__ = ["EXHIBITS", "run_exhibit"]
+__all__ = [
+    "EXHIBITS",
+    "resolve_names",
+    "run_exhibit",
+    "ExhibitOutcome",
+    "ExhibitTimeoutError",
+    "RunManifest",
+    "exhibit_fingerprint",
+    "run_exhibits",
+]

@@ -4,16 +4,24 @@ Examples::
 
     python -m repro.experiments all --out results/
     python -m repro.experiments fig11 fig10 --seed 7
+    python -m repro.experiments all --out results/ --keep-going --timeout 600
+    python -m repro.experiments all --out results/ --resume
     repro-experiments table1
+
+Long runs are crash-safe (see docs/ROBUSTNESS.md): with ``--out`` every
+exhibit JSON and the ``run.json`` manifest are written atomically, and
+``--resume`` skips exhibits a previous (possibly killed) run already
+completed with the same seed/scale.  The exit status is 0 only when every
+requested exhibit succeeded.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 
-from repro.experiments.registry import EXHIBITS, run_exhibit
+from repro.experiments.registry import EXHIBITS, resolve_names
+from repro.experiments.runner import format_outcome_table, run_exhibits
 
 
 def main(argv=None) -> int:
@@ -39,13 +47,34 @@ def main(argv=None) -> int:
         "--out",
         default=None,
         metavar="DIR",
-        help="directory for JSON result dumps (default: no dumps)",
+        help="directory for JSON result dumps and the run.json manifest "
+        "(default: no dumps)",
     )
     parser.add_argument(
         "--svg",
         default=None,
         metavar="DIR",
         help="directory for SVG chart renderings (chartable exhibits only)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="continue past failing exhibits; print a pass/fail table at "
+        "the end and exit 1 if any failed",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-exhibit time budget; an exhibit over budget counts as "
+        "failed (POSIX main thread only)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip exhibits already completed by a previous run with the "
+        "same --out, seed and scale (needs the run.json manifest)",
     )
     args = parser.parse_args(argv)
 
@@ -58,21 +87,27 @@ def main(argv=None) -> int:
         print(f"wrote {path}")
         return 0
 
-    names = list(EXHIBITS) if "all" in args.exhibits else args.exhibits
-    for name in names:
-        if name not in EXHIBITS:
-            parser.error(f"unknown exhibit {name!r}; known: {', '.join(EXHIBITS)}")
-    for name in names:
-        start = time.time()
-        print(f"=== {name} " + "=" * max(0, 66 - len(name)))
-        data = run_exhibit(name, seed=args.seed, scale=args.scale, out_dir=args.out)
-        if args.svg:
-            from repro.experiments.charts import render_svg
+    try:
+        names = resolve_names(args.exhibits)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    if args.resume and not args.out:
+        parser.error("--resume requires --out DIR (the manifest lives there)")
 
-            for path in render_svg(name, data, args.svg):
-                print(f"(svg) {path}")
-        print(f"--- {name} done in {time.time() - start:.1f}s\n")
-    return 0
+    outcomes = run_exhibits(
+        names,
+        seed=args.seed,
+        scale=args.scale,
+        out_dir=args.out,
+        svg_dir=args.svg,
+        keep_going=args.keep_going,
+        timeout_s=args.timeout,
+        resume=args.resume,
+    )
+    failed = [o for o in outcomes if not o.ok]
+    if args.keep_going or failed or len(outcomes) > 1:
+        print(format_outcome_table(outcomes))
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -2,17 +2,19 @@
 
 from __future__ import annotations
 
-import json
+from collections import OrderedDict
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.core.config import TechniqueConfig, build_translator
 from repro.core.recorders import Recorder
 from repro.core.simulator import RunResult, Simulator
 from repro.trace.trace import Trace
+from repro.util.io import atomic_write_json
 from repro.workloads import synthesize_workload
 
-_trace_cache: Dict[Tuple[str, int, float], Trace] = {}
+_TRACE_CACHE_MAX = 16
+_trace_cache: "OrderedDict[Tuple[str, int, float], Trace]" = OrderedDict()
 
 
 def workload_trace(name: str, seed: int, scale: float) -> Trace:
@@ -20,12 +22,29 @@ def workload_trace(name: str, seed: int, scale: float) -> Trace:
 
     Several exhibits replay the same workloads; generating each trace once
     per (name, seed, scale) keeps a full ``all`` run fast and guarantees
-    every exhibit sees the identical trace.
+    every exhibit sees the identical trace.  The cache is a small LRU
+    (``_TRACE_CACHE_MAX`` entries) so a large-scale ``all`` run doesn't
+    accumulate every workload it ever touched in memory.
     """
     key = (name, seed, scale)
-    if key not in _trace_cache:
-        _trace_cache[key] = synthesize_workload(name, seed=seed, scale=scale)
-    return _trace_cache[key]
+    if key in _trace_cache:
+        _trace_cache.move_to_end(key)
+        return _trace_cache[key]
+    trace = synthesize_workload(name, seed=seed, scale=scale)
+    _trace_cache[key] = trace
+    while len(_trace_cache) > _TRACE_CACHE_MAX:
+        _trace_cache.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop all memoized workload traces (frees the memory immediately)."""
+    _trace_cache.clear()
+
+
+def trace_cache_size() -> int:
+    """Number of traces currently memoized (bounded by the LRU limit)."""
+    return len(_trace_cache)
 
 
 def replay_with(
@@ -39,15 +58,17 @@ def replay_with(
 
 
 def save_json(exhibit: str, data: dict, out_dir: Optional[str]) -> Optional[Path]:
-    """Dump exhibit data as ``<out_dir>/<exhibit>.json``; None disables."""
+    """Dump exhibit data as ``<out_dir>/<exhibit>.json``; None disables.
+
+    The write is atomic (tmp file + rename), so a run killed mid-dump
+    never leaves a truncated JSON behind — at worst a stale ``.tmp`` file
+    sits next to the previous complete version.
+    """
     if out_dir is None:
         return None
     out = Path(out_dir)
     out.mkdir(parents=True, exist_ok=True)
-    path = out / f"{exhibit}.json"
-    with path.open("w") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True)
-    return path
+    return atomic_write_json(out / f"{exhibit}.json", data)
 
 
 def downsample(series: Iterable[float], max_points: int = 200) -> list:

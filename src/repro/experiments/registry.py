@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
     ablations,
@@ -42,6 +42,23 @@ EXHIBITS: Dict[str, Runner] = {
     "taxonomy": ablations.run_taxonomy,
 }
 """All regenerable exhibits: the paper's (in its order) plus ablations."""
+
+
+def resolve_names(requested: Sequence[str]) -> List[str]:
+    """Expand/validate a CLI exhibit list.
+
+    ``"all"`` anywhere in the list expands to every registered exhibit (in
+    registry order); otherwise every name must be registered.  Raises
+    :class:`KeyError` naming the first unknown exhibit.
+    """
+    if "all" in requested:
+        return list(EXHIBITS)
+    for name in requested:
+        if name not in EXHIBITS:
+            raise KeyError(
+                f"unknown exhibit {name!r}; known: {', '.join(EXHIBITS)}"
+            )
+    return list(requested)
 
 
 def run_exhibit(

@@ -1,0 +1,307 @@
+"""Crash-safe experiment runner: isolation, timeouts, checkpoint/resume.
+
+A long ``python -m repro.experiments all`` run must survive a bad exhibit,
+a hung exhibit, and a mid-run kill without losing completed work.  This
+module wraps :func:`~repro.experiments.registry.run_exhibit` with:
+
+* **Per-exhibit isolation** — an exhibit that raises is recorded (status +
+  full traceback) and, with ``keep_going``, the run continues.
+* **Per-exhibit timeout** — a SIGALRM-based watchdog (POSIX main thread
+  only; silently disabled elsewhere) turns a hung exhibit into a
+  ``timeout`` failure instead of a hung run.
+* **A run manifest** — ``<out_dir>/run.json``, rewritten atomically after
+  every exhibit, records per-exhibit status, duration, error traceback and
+  a ``(name, seed, scale, version)`` fingerprint.
+* **Resume** — a rerun with ``resume=True`` skips exhibits whose manifest
+  entry is ``ok``, whose fingerprint matches the current parameters, and
+  whose JSON dump is present and valid; everything else is re-run.
+
+Because exhibit JSON dumps and the manifest are both written via
+tmp-file+rename (:mod:`repro.util.io`), a run killed at any instant leaves
+only complete, parseable JSON on disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import signal
+import threading
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments.registry import run_exhibit
+from repro.util.io import atomic_write_json
+
+MANIFEST_NAME = "run.json"
+
+STATUS_RUNNING = "running"
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_SKIPPED = "skipped"  # resume found a completed, matching entry
+
+
+class ExhibitTimeoutError(Exception):
+    """An exhibit exceeded its per-exhibit time budget."""
+
+
+def exhibit_fingerprint(name: str, seed: int, scale: float) -> str:
+    """Identity of one exhibit execution for resume matching.
+
+    Two runs may share completed work only if exhibit name, seed, scale
+    and library version all agree; a resume with different parameters
+    re-runs everything.
+    """
+    from repro import __version__
+
+    blob = json.dumps(
+        {"name": name, "seed": seed, "scale": scale, "version": __version__},
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+@dataclass
+class ExhibitOutcome:
+    """What happened to one exhibit in one run."""
+
+    name: str
+    status: str
+    duration_s: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_SKIPPED)
+
+
+class RunManifest:
+    """The ``run.json`` checkpoint file.
+
+    The manifest maps exhibit name → ``{status, duration_s, fingerprint,
+    error, finished_at}`` plus run-level metadata.  It is saved atomically
+    after every state change, so the file on disk is always complete and
+    reflects the last finished (or started) exhibit.
+    """
+
+    def __init__(self, path: Path, seed: int, scale: float) -> None:
+        self.path = Path(path)
+        self.seed = seed
+        self.scale = scale
+        self.exhibits: Dict[str, dict] = {}
+
+    @classmethod
+    def load(cls, path: Path) -> "RunManifest":
+        """Load an existing manifest (raises on missing/corrupt file)."""
+        path = Path(path)
+        with path.open() as handle:
+            raw = json.load(handle)
+        manifest = cls(path, seed=raw.get("seed", 0), scale=raw.get("scale", 1.0))
+        manifest.exhibits = dict(raw.get("exhibits", {}))
+        return manifest
+
+    @classmethod
+    def load_or_create(cls, path: Path, seed: int, scale: float) -> "RunManifest":
+        """Load ``path`` if it is a valid manifest, else start fresh.
+
+        A corrupt manifest (should be impossible given atomic writes, but
+        disks happen) is treated as absent rather than aborting the run.
+        """
+        path = Path(path)
+        if path.exists():
+            try:
+                return cls.load(path)
+            except (OSError, ValueError):
+                pass
+        return cls(path, seed=seed, scale=scale)
+
+    def save(self) -> None:
+        atomic_write_json(
+            self.path,
+            {
+                "manifest_version": 1,
+                "seed": self.seed,
+                "scale": self.scale,
+                "exhibits": self.exhibits,
+            },
+        )
+
+    def mark_running(self, name: str, fingerprint: str) -> None:
+        self.exhibits[name] = {
+            "status": STATUS_RUNNING,
+            "fingerprint": fingerprint,
+            "duration_s": 0.0,
+            "error": None,
+        }
+        self.save()
+
+    def mark_done(
+        self,
+        name: str,
+        status: str,
+        fingerprint: str,
+        duration_s: float,
+        error: Optional[str] = None,
+    ) -> None:
+        self.exhibits[name] = {
+            "status": status,
+            "fingerprint": fingerprint,
+            "duration_s": round(duration_s, 3),
+            "error": error,
+        }
+        self.save()
+
+    def completed_ok(self, name: str, fingerprint: str) -> bool:
+        """True if ``name`` finished successfully with this fingerprint."""
+        entry = self.exhibits.get(name)
+        return (
+            entry is not None
+            and entry.get("status") == STATUS_OK
+            and entry.get("fingerprint") == fingerprint
+        )
+
+
+@contextmanager
+def exhibit_timeout(seconds: Optional[float]):
+    """Raise :class:`ExhibitTimeoutError` in the block after ``seconds``.
+
+    Uses ``SIGALRM``/``setitimer``, so it only arms on POSIX in the main
+    thread; anywhere else it is a no-op (the run still has per-exhibit
+    isolation, just no watchdog).
+    """
+    can_alarm = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise ExhibitTimeoutError(f"exhibit exceeded {seconds:g}s budget")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _json_dump_valid(path: Path) -> bool:
+    try:
+        with path.open() as handle:
+            json.load(handle)
+        return True
+    except (OSError, ValueError):
+        return False
+
+
+def run_exhibits(
+    names: Sequence[str],
+    seed: int = 42,
+    scale: float = 1.0,
+    out_dir: Optional[str] = None,
+    svg_dir: Optional[str] = None,
+    keep_going: bool = False,
+    timeout_s: Optional[float] = None,
+    resume: bool = False,
+    echo: Callable[[str], None] = print,
+) -> List[ExhibitOutcome]:
+    """Run ``names`` in order with isolation, checkpointing and resume.
+
+    Returns one :class:`ExhibitOutcome` per *attempted* exhibit; without
+    ``keep_going`` the list stops at the first failure.  The manifest is
+    maintained only when ``out_dir`` is given (resume requires it).
+    """
+    manifest: Optional[RunManifest] = None
+    if out_dir is not None:
+        out_path = Path(out_dir)
+        out_path.mkdir(parents=True, exist_ok=True)
+        manifest_path = out_path / MANIFEST_NAME
+        if resume:
+            manifest = RunManifest.load_or_create(manifest_path, seed, scale)
+        else:
+            manifest = RunManifest(manifest_path, seed=seed, scale=scale)
+        manifest.seed, manifest.scale = seed, scale
+        manifest.save()
+    elif resume:
+        raise ValueError("resume requires an out_dir (the manifest lives there)")
+
+    outcomes: List[ExhibitOutcome] = []
+    for name in names:
+        fingerprint = exhibit_fingerprint(name, seed, scale)
+        if (
+            resume
+            and manifest is not None
+            and manifest.completed_ok(name, fingerprint)
+            and _json_dump_valid(Path(out_dir) / f"{name}.json")
+        ):
+            echo(f"=== {name}: already complete, skipping (resume)")
+            outcomes.append(ExhibitOutcome(name, STATUS_SKIPPED))
+            continue
+
+        if manifest is not None:
+            manifest.mark_running(name, fingerprint)
+        echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        start = time.time()
+        status, error = STATUS_OK, None
+        try:
+            with exhibit_timeout(timeout_s):
+                data = run_exhibit(name, seed=seed, scale=scale, out_dir=out_dir)
+                if svg_dir:
+                    from repro.experiments.charts import render_svg
+
+                    for path in render_svg(name, data, svg_dir):
+                        echo(f"(svg) {path}")
+        except ExhibitTimeoutError as exc:
+            status, error = STATUS_TIMEOUT, str(exc)
+        except KeyboardInterrupt:
+            if manifest is not None:
+                manifest.mark_done(
+                    name, STATUS_FAILED, fingerprint,
+                    time.time() - start, "interrupted (KeyboardInterrupt)",
+                )
+            raise
+        except Exception:
+            status, error = STATUS_FAILED, traceback.format_exc()
+        duration = time.time() - start
+
+        if manifest is not None:
+            manifest.mark_done(name, status, fingerprint, duration, error)
+        outcomes.append(ExhibitOutcome(name, status, duration, error))
+        if status == STATUS_OK:
+            echo(f"--- {name} done in {duration:.1f}s\n")
+        else:
+            echo(f"--- {name} {status.upper()} after {duration:.1f}s")
+            if error:
+                echo(error.rstrip())
+            echo("")
+            if not keep_going:
+                break
+    return outcomes
+
+
+def format_outcome_table(outcomes: Sequence[ExhibitOutcome]) -> str:
+    """Render the end-of-run pass/fail summary table."""
+    width = max([len(o.name) for o in outcomes] + [len("exhibit")])
+    lines = [
+        f"{'exhibit'.ljust(width)}  {'status':8}  duration",
+        f"{'-' * width}  {'-' * 8}  --------",
+    ]
+    for outcome in outcomes:
+        lines.append(
+            f"{outcome.name.ljust(width)}  {outcome.status:8}  "
+            f"{outcome.duration_s:7.1f}s"
+        )
+    ok = sum(1 for o in outcomes if o.ok)
+    lines.append(f"{ok}/{len(outcomes)} exhibits ok")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Deterministic fault injection for robustness testing.
+
+Three layers of faults, all seed-driven so every experiment under faults
+is exactly reproducible:
+
+* :mod:`repro.faults.corrupt` — damage raw trace-file *lines* (dropped
+  fields, garbage tokens, zero/negative sizes, torn final line) to
+  exercise the parsers' ``lenient``/``quarantine`` policies.
+* :mod:`repro.faults.trace_faults` — damage a parsed *trace* (drop,
+  duplicate, swap, truncate) to measure technique sensitivity to dirty
+  input.
+* :mod:`repro.faults.transient` — inject *transient device errors* into
+  the translator service path, exercising the simulator's bounded
+  retry/backoff (:class:`~repro.core.simulator.RetryPolicy`) and proving
+  seek/SAF metrics are unperturbed by retries.
+
+Example::
+
+    from repro.core import LS, RetryPolicy, build_translator, replay
+    from repro.faults import FaultyTranslator, TransientFaultConfig
+
+    faulty = FaultyTranslator(build_translator(trace, LS),
+                              TransientFaultConfig(read_error_rate=0.05, seed=7))
+    result = replay(trace, faulty, retry_policy=RetryPolicy())
+    assert result.stats.seek_counters == replay(
+        trace, build_translator(trace, LS)).stats.seek_counters
+"""
+
+from repro.faults.corrupt import (
+    CORRUPTION_KINDS,
+    CorruptionLog,
+    CorruptionSpec,
+    corrupt_lines,
+)
+from repro.faults.trace_faults import (
+    TraceFaultConfig,
+    TraceFaultLog,
+    inject_trace_faults,
+)
+from repro.faults.transient import FaultyTranslator, TransientFaultConfig
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "CorruptionLog",
+    "CorruptionSpec",
+    "corrupt_lines",
+    "TraceFaultConfig",
+    "TraceFaultLog",
+    "inject_trace_faults",
+    "FaultyTranslator",
+    "TransientFaultConfig",
+]

@@ -1,0 +1,114 @@
+"""Deterministic raw-line corruption for parser robustness testing.
+
+Takes clean trace-file lines (any CSV dialect) and damages a seeded random
+subset of them in the ways real dumps are damaged: dropped fields, garbage
+tokens, zero/negative sizes, and a truncated final line.  Used to prove
+that the ``lenient``/``quarantine`` parse policies skip exactly the damaged
+records and keep everything else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.util.validation import check_choice, check_probability
+
+CORRUPTION_KINDS = (
+    "drop_fields",     # keep only the first 1-2 CSV fields
+    "garbage_field",   # replace a numeric field with a non-numeric token
+    "zero_size",       # set the size/length field to 0
+    "negative_size",   # set the size/length field to a negative number
+    "truncate_line",   # cut the line mid-field (as a torn final write does)
+)
+"""The supported ways of damaging a record line."""
+
+
+@dataclass(frozen=True)
+class CorruptionSpec:
+    """What to corrupt and how.
+
+    Attributes:
+        rate: Fraction of lines to damage (seeded-random selection).
+        seed: RNG seed; equal seeds produce byte-identical corruption.
+        kinds: Damage kinds to rotate through (default: all of them).
+        size_field: 0-based CSV index of the size/length column
+            (5 for MSR, 3 for CloudPhysics and the native format).
+    """
+
+    rate: float = 0.05
+    seed: int = 0
+    kinds: Sequence[str] = CORRUPTION_KINDS
+    size_field: int = 3
+
+    def __post_init__(self) -> None:
+        check_probability("rate", self.rate)
+        if not self.kinds:
+            raise ValueError("kinds must not be empty")
+        for kind in self.kinds:
+            check_choice("kind", kind, CORRUPTION_KINDS)
+
+
+@dataclass
+class CorruptionLog:
+    """Which lines were damaged, and how (0-based indices)."""
+
+    damaged: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.damaged)
+
+    @property
+    def indices(self) -> List[int]:
+        return [index for index, _ in self.damaged]
+
+
+def corrupt_lines(
+    lines: Sequence[str],
+    spec: Optional[CorruptionSpec] = None,
+    log: Optional[CorruptionLog] = None,
+) -> List[str]:
+    """Return a copy of ``lines`` with a seeded subset damaged per ``spec``.
+
+    Selection and damage are fully determined by ``spec.seed``.  Damage
+    kinds are applied round-robin over the selected lines so every kind in
+    ``spec.kinds`` appears when enough lines are hit.  The optional ``log``
+    records ``(index, kind)`` per damaged line.
+    """
+    spec = spec if spec is not None else CorruptionSpec()
+    rng = random.Random(spec.seed)
+    out = list(lines)
+    hit = [i for i in range(len(out)) if rng.random() < spec.rate]
+    for rotation, index in enumerate(hit):
+        kind = spec.kinds[rotation % len(spec.kinds)]
+        out[index] = _damage(out[index], kind, spec.size_field, rng)
+        if log is not None:
+            log.damaged.append((index, kind))
+    return out
+
+
+def _damage(line: str, kind: str, size_field: int, rng: random.Random) -> str:
+    fields = line.split(",")
+    if kind == "drop_fields":
+        return ",".join(fields[: rng.randint(1, 2)])
+    if kind == "garbage_field":
+        victim = rng.randrange(len(fields))
+        fields[victim] = "###"
+        return ",".join(fields)
+    if kind == "zero_size":
+        if size_field < len(fields):
+            fields[size_field] = "0"
+        return ",".join(fields)
+    if kind == "negative_size":
+        if size_field < len(fields):
+            try:
+                magnitude = abs(int(fields[size_field])) or 512
+            except ValueError:
+                magnitude = 512
+            fields[size_field] = str(-magnitude)
+        return ",".join(fields)
+    if kind == "truncate_line":
+        return line[: max(1, len(line) * 2 // 3)].rstrip(",")
+    raise AssertionError(f"unknown corruption kind {kind!r}")  # pragma: no cover

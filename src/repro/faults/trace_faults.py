@@ -1,0 +1,119 @@
+"""Trace-level fault models: drop, duplicate, reorder, truncate.
+
+These act on an already-parsed :class:`~repro.trace.trace.Trace` and model
+what a damaged or incompletely-captured trace does to replay results: ops
+missing (collector overrun), ops repeated (retransmitted log records), ops
+swapped with a neighbour (out-of-order capture), and a truncated tail
+(capture stopped early).  All mutations are driven by one seeded RNG so a
+given ``(trace, config)`` pair always yields the identical faulty trace —
+experiments under injected faults stay reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+from repro.util.validation import check_probability, check_range
+
+
+@dataclass(frozen=True)
+class TraceFaultConfig:
+    """Knobs for :func:`inject_trace_faults`.
+
+    Attributes:
+        drop_rate: Fraction of requests removed.
+        duplicate_rate: Fraction of requests emitted twice back-to-back.
+        swap_rate: Fraction of positions where a request is swapped with
+            its successor (models capture-order inversion).
+        truncate_fraction: Fraction of the trace tail cut off (applied
+            first, before per-record faults).
+        seed: RNG seed; equal seeds yield identical faulty traces.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    swap_rate: float = 0.0
+    truncate_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_probability("drop_rate", self.drop_rate)
+        check_probability("duplicate_rate", self.duplicate_rate)
+        check_probability("swap_rate", self.swap_rate)
+        check_range("truncate_fraction", self.truncate_fraction, 0.0, 1.0)
+
+
+@dataclass
+class TraceFaultLog:
+    """Accounting of the faults actually applied."""
+
+    dropped: int = 0
+    duplicated: int = 0
+    swapped: int = 0
+    truncated: int = 0
+    input_ops: int = 0
+    output_ops: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "dropped": self.dropped,
+            "duplicated": self.duplicated,
+            "swapped": self.swapped,
+            "truncated": self.truncated,
+            "input_ops": self.input_ops,
+            "output_ops": self.output_ops,
+        }
+
+
+def inject_trace_faults(
+    trace: Trace,
+    config: TraceFaultConfig,
+    log: Optional[TraceFaultLog] = None,
+) -> Trace:
+    """Return a new trace with ``config``'s faults applied to ``trace``.
+
+    Order of operations: truncate the tail, then walk the remainder once,
+    dropping/duplicating/swapping per seeded coin-flips.  The input trace
+    is never mutated.  The result is named ``"<name>+faults"``.
+    """
+    log = log if log is not None else TraceFaultLog()
+    log.input_ops = len(trace)
+    rng = random.Random(config.seed)
+
+    requests: List[IORequest] = list(trace)
+    if config.truncate_fraction > 0.0 and requests:
+        keep = len(requests) - int(len(requests) * config.truncate_fraction)
+        log.truncated = len(requests) - keep
+        requests = requests[:keep]
+
+    out: List[IORequest] = []
+    index = 0
+    while index < len(requests):
+        request = requests[index]
+        if config.drop_rate and rng.random() < config.drop_rate:
+            log.dropped += 1
+            index += 1
+            continue
+        if (
+            config.swap_rate
+            and index + 1 < len(requests)
+            and rng.random() < config.swap_rate
+        ):
+            out.append(requests[index + 1])
+            out.append(request)
+            log.swapped += 1
+            index += 2
+            continue
+        out.append(request)
+        if config.duplicate_rate and rng.random() < config.duplicate_rate:
+            out.append(request)
+            log.duplicated += 1
+        index += 1
+
+    log.output_ops = len(out)
+    faulty = Trace(out, name=f"{trace.name}+faults")
+    return faulty

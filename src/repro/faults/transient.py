@@ -1,0 +1,104 @@
+"""Transient device-error injection on the translator service path.
+
+:class:`FaultyTranslator` wraps any :class:`~repro.core.translators.Translator`
+and makes a seeded fraction of submissions fail with
+:class:`~repro.core.errors.TransientIOError` *before* the wrapped
+translator sees them.  Because no state (head position, address map,
+caches) is touched on a faulted attempt, a retry is a clean resubmission —
+which is exactly the contract the simulator's
+:class:`~repro.core.simulator.RetryPolicy` relies on, and the reason seek
+and SAF metrics are bit-identical with and without injected transient
+faults for any fault seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.errors import TransientIOError
+from repro.core.outcomes import IOOutcome
+from repro.core.translators import Translator
+from repro.trace.record import IORequest
+from repro.util.validation import check_non_negative, check_probability
+
+
+@dataclass(frozen=True)
+class TransientFaultConfig:
+    """Knobs for :class:`FaultyTranslator`.
+
+    Attributes:
+        read_error_rate: Probability a read submission faults.
+        write_error_rate: Probability a write submission faults.
+        seed: RNG seed; the fault sequence is a pure function of it.
+        max_consecutive: Hard cap on back-to-back faults for one request,
+            guaranteeing forward progress even at high rates (a "transient"
+            error resolves eventually).  Set it above a
+            :class:`RetryPolicy`'s ``max_retries`` to exercise the
+            retries-exhausted path.
+    """
+
+    read_error_rate: float = 0.01
+    write_error_rate: float = 0.0
+    seed: int = 0
+    max_consecutive: int = 2
+
+    def __post_init__(self) -> None:
+        check_probability("read_error_rate", self.read_error_rate)
+        check_probability("write_error_rate", self.write_error_rate)
+        check_non_negative("max_consecutive", self.max_consecutive)
+
+
+class FaultyTranslator(Translator):
+    """Wrap a translator, injecting seeded transient errors before service.
+
+    The wrapper delegates everything observable (description, head) to the
+    wrapped translator, so recorders and metrics see the real device
+    behaviour; only the error injection is added.
+    """
+
+    def __init__(self, inner: Translator, config: TransientFaultConfig) -> None:
+        super().__init__()
+        self._inner = inner
+        self._config = config
+        self._rng = random.Random(config.seed)
+        self._consecutive = 0
+        self._injected = 0
+
+    @property
+    def inner(self) -> Translator:
+        return self._inner
+
+    @property
+    def head(self):
+        return self._inner.head
+
+    @property
+    def description(self) -> str:
+        return f"{self._inner.description}+faulty"
+
+    @property
+    def injected_faults(self) -> int:
+        """Total transient errors raised so far."""
+        return self._injected
+
+    def submit(self, request: IORequest) -> IOOutcome:
+        rate = (
+            self._config.read_error_rate
+            if request.is_read
+            else self._config.write_error_rate
+        )
+        if (
+            rate > 0.0
+            and self._consecutive < self._config.max_consecutive
+            and self._rng.random() < rate
+        ):
+            self._consecutive += 1
+            self._injected += 1
+            raise TransientIOError(
+                f"injected transient {'read' if request.is_read else 'write'} "
+                f"error at lba {request.lba}",
+                attempt=self._consecutive,
+            )
+        self._consecutive = 0
+        return self._inner.submit(request)

@@ -9,6 +9,12 @@ and sampling/windowing utilities.
 
 from repro.trace.record import IORequest, OpType
 from repro.trace.trace import Trace
+from repro.trace.errors import (
+    PARSE_POLICIES,
+    ParseIssue,
+    ParseReport,
+    TraceParseError,
+)
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.csvio import read_csv_trace, write_csv_trace
 from repro.trace.msr import parse_msr_file, parse_msr_lines
@@ -27,6 +33,10 @@ __all__ = [
     "IORequest",
     "OpType",
     "Trace",
+    "PARSE_POLICIES",
+    "ParseIssue",
+    "ParseReport",
+    "TraceParseError",
     "TraceStats",
     "compute_stats",
     "read_csv_trace",

@@ -6,15 +6,17 @@ The native on-disk format of this library is a minimal four-column CSV::
 
 with timestamps in seconds and addresses in sectors.  Synthetic traces are
 persisted in this format so experiments can be re-run without regenerating
-workloads.
+workloads.  Reading follows the shared ``strict`` | ``lenient`` |
+``quarantine`` error policy of :mod:`repro.trace.errors`.
 """
 
 from __future__ import annotations
 
 import csv
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, List, Optional, Union
 
+from repro.trace.errors import ParseReport, check_geometry, make_report
 from repro.trace.record import IORequest, OpType
 from repro.trace.trace import Trace
 
@@ -33,14 +35,26 @@ def write_csv_trace(trace: Trace, path: Union[str, Path]) -> None:
             )
 
 
-def read_csv_trace(path: Union[str, Path], name: str = "") -> Trace:
+def read_csv_trace(
+    path: Union[str, Path],
+    name: str = "",
+    policy: str = "strict",
+    capacity_sectors: Optional[int] = None,
+    report: Optional[ParseReport] = None,
+) -> Trace:
     """Read a native-format CSV trace from ``path``.
 
-    The header row is optional; rows that fail to parse raise
-    :class:`ValueError` with the offending line number.
+    The header row is optional.  Under the default ``strict`` policy a bad
+    row raises :class:`~repro.trace.errors.TraceParseError` with the
+    offending line number; ``lenient``/``quarantine`` skip bad rows and
+    account for them in the :class:`ParseReport` attached to the returned
+    trace as ``trace.parse_report``.
     """
     path = Path(path)
-    requests = []
+    trace_name = name or path.stem
+    # Error messages cite the full path (more useful than the bare stem).
+    report = make_report(report, name or str(path), policy)
+    requests: List[IORequest] = []
     with path.open(newline="") as handle:
         reader = csv.reader(handle)
         for line_no, row in enumerate(reader, start=1):
@@ -48,14 +62,41 @@ def read_csv_trace(path: Union[str, Path], name: str = "") -> Trace:
                 continue
             if line_no == 1 and row[0].strip().lower() == "timestamp":
                 continue
+            report.note_record()
+            raw = ",".join(row)
+            if len(row) < 4:
+                report.note_error(
+                    line_no, raw, f"expected >=4 trace columns, got {len(row)}"
+                )
+                continue
             try:
-                requests.append(_parse_row(row))
-            except (ValueError, IndexError) as exc:
-                raise ValueError(f"{path}:{line_no}: bad trace row {row!r}: {exc}") from exc
-    return Trace(requests, name=name or path.stem)
+                timestamp = float(row[0])
+                op = OpType.parse(row[1])
+                lba = int(row[2])
+                length = int(row[3])
+            except ValueError as exc:
+                report.note_error(line_no, raw, f"bad trace row: {exc}")
+                continue
+            if length <= 0:
+                report.note_error(
+                    line_no, raw, f"length must be > 0 sectors, got {length}"
+                )
+                continue
+            geometry_error = check_geometry(lba, length, capacity_sectors)
+            if geometry_error is not None:
+                report.note_error(line_no, raw, geometry_error)
+                continue
+            report.note_accepted()
+            requests.append(
+                IORequest(timestamp=timestamp, op=op, lba=lba, length=length)
+            )
+    trace = Trace(requests, name=trace_name)
+    trace.parse_report = report
+    return trace
 
 
 def _parse_row(row: Iterable[str]) -> IORequest:
+    """Parse one native-format CSV row (kept for backwards compatibility)."""
     timestamp_s, op_s, lba_s, length_s = list(row)[:4]
     return IORequest(
         timestamp=float(timestamp_s),

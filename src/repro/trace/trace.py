@@ -27,6 +27,10 @@ class Trace:
         self._requests: List[IORequest] = list(requests)
         self._name = name
         self._max_end: Optional[int] = None
+        #: Filled by the parsers in :mod:`repro.trace` with the
+        #: :class:`~repro.trace.errors.ParseReport` of the parse that built
+        #: this trace; None for synthetic or derived traces.
+        self.parse_report = None
 
     @property
     def name(self) -> str:

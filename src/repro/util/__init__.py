@@ -25,9 +25,12 @@ from repro.util.units import (
 from repro.util.validation import (
     check_non_negative,
     check_positive,
+    check_probability,
+    check_choice,
     check_range,
     check_type,
 )
+from repro.util.io import atomic_write_json, atomic_write_text
 from repro.util.rngtools import SeedSequenceFactory, spawn_rng, zipf_weights
 from repro.util.stats import (
     OnlineStats,
@@ -57,8 +60,12 @@ __all__ = [
     "format_sectors",
     "check_non_negative",
     "check_positive",
+    "check_probability",
+    "check_choice",
     "check_range",
     "check_type",
+    "atomic_write_json",
+    "atomic_write_text",
     "SeedSequenceFactory",
     "spawn_rng",
     "zipf_weights",

@@ -7,7 +7,7 @@ happy path).
 
 from __future__ import annotations
 
-from typing import Any, Tuple, Type, Union
+from typing import Any, Sequence, Tuple, Type, Union
 
 
 def check_non_negative(name: str, value: Union[int, float]) -> Union[int, float]:
@@ -33,6 +33,25 @@ def check_range(
     """Raise :class:`ValueError` unless ``lo <= value <= hi``."""
     if not lo <= value <= hi:
         raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Union[int, float]) -> float:
+    """Raise :class:`ValueError` unless ``0 <= value <= 1``; return a float.
+
+    Fault-injection rates and sampling fractions all funnel through here so
+    a mistyped percentage (``5`` instead of ``0.05``) fails loudly.
+    """
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
+    return float(value)
+
+
+def check_choice(name: str, value: Any, choices: Sequence[Any]) -> Any:
+    """Raise :class:`ValueError` unless ``value`` is one of ``choices``."""
+    if value not in choices:
+        options = ", ".join(repr(c) for c in choices)
+        raise ValueError(f"{name} must be one of {options}; got {value!r}")
     return value
 
 

@@ -95,6 +95,18 @@ class TestCleaningBehaviour:
         fill_random(t, 3000)
         assert t.live_sectors() <= mib_to_sectors(4)
 
+    def test_live_accounting_exact_across_zone_boundary(self):
+        # A write that straddles a zone boundary is mapped as two pieces
+        # the extent map merges back into one PBA-contiguous segment.
+        # Invalidating that merged segment must split the live-count
+        # decrement per zone, or a stale sector survives in the ledger.
+        t = ZonedCleaningTranslator(
+            frontier_base=512, zone_mib=0.0625, n_zones=6, reserve_zones=2
+        )
+        for length in (1, 1, 1, 1, 13, 28, 28, 28, 28, 28, 28):
+            t.submit(IORequest.write(0, length))
+        assert t.live_sectors() == 28
+
     def test_reserve_zones_maintained_after_writes(self):
         t = make_translator(reserve=3)
         fill_random(t, 2000)

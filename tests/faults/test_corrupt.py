@@ -1,0 +1,58 @@
+"""Raw-line corruption: determinism and parser interplay."""
+
+from repro.faults import CorruptionLog, CorruptionSpec, corrupt_lines
+from repro.trace import parse_cloudphysics_lines
+
+CLEAN = [f"{i * 100},R,{i * 8},8" for i in range(200)]
+
+
+class TestCorruptLines:
+    def test_deterministic_for_seed(self):
+        spec = CorruptionSpec(rate=0.1, seed=42)
+        assert corrupt_lines(CLEAN, spec) == corrupt_lines(CLEAN, spec)
+
+    def test_different_seeds_differ(self):
+        a = corrupt_lines(CLEAN, CorruptionSpec(rate=0.1, seed=1))
+        b = corrupt_lines(CLEAN, CorruptionSpec(rate=0.1, seed=2))
+        assert a != b
+
+    def test_rate_zero_is_identity(self):
+        assert corrupt_lines(CLEAN, CorruptionSpec(rate=0.0)) == CLEAN
+
+    def test_log_matches_damage(self):
+        log = CorruptionLog()
+        damaged = corrupt_lines(CLEAN, CorruptionSpec(rate=0.2, seed=7), log=log)
+        assert log.count > 0
+        changed = [i for i, (a, b) in enumerate(zip(CLEAN, damaged)) if a != b]
+        assert set(changed) <= set(log.indices)
+
+    def test_input_not_mutated(self):
+        snapshot = list(CLEAN)
+        corrupt_lines(CLEAN, CorruptionSpec(rate=0.5, seed=3))
+        assert CLEAN == snapshot
+
+    def test_invalid_rate_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="probability"):
+            CorruptionSpec(rate=5.0)
+
+
+class TestCorruptionThroughParser:
+    def test_lenient_parse_skips_exactly_the_damaged_lines(self):
+        log = CorruptionLog()
+        damaged = corrupt_lines(CLEAN, CorruptionSpec(rate=0.1, seed=11), log=log)
+        trace = parse_cloudphysics_lines(damaged, policy="lenient")
+        report = trace.parse_report
+        assert report.balanced
+        # Every damage kind we emit breaks the record, so the parser must
+        # drop exactly the damaged lines and keep the rest.
+        assert report.skipped == log.count
+        assert report.accepted == len(CLEAN) - log.count
+
+    def test_quarantine_captures_damaged_lines_verbatim(self):
+        log = CorruptionLog()
+        damaged = corrupt_lines(CLEAN, CorruptionSpec(rate=0.1, seed=11), log=log)
+        trace = parse_cloudphysics_lines(damaged, policy="quarantine")
+        captured = {issue.line for issue in trace.parse_report.quarantine}
+        assert captured == {damaged[i] for i in log.indices}

@@ -1,0 +1,103 @@
+"""Trace-level fault models: drop/duplicate/swap/truncate."""
+
+import pytest
+
+from repro.faults import TraceFaultConfig, TraceFaultLog, inject_trace_faults
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+def make_trace(n=500):
+    return Trace(
+        [IORequest.read(i * 8, 8, i * 0.001) for i in range(n)], name="synthetic"
+    )
+
+
+class TestInjectTraceFaults:
+    def test_no_faults_is_identity(self):
+        trace = make_trace()
+        faulty = inject_trace_faults(trace, TraceFaultConfig())
+        assert list(faulty) == list(trace)
+        assert faulty.name == "synthetic+faults"
+
+    def test_deterministic_for_seed(self):
+        trace = make_trace()
+        config = TraceFaultConfig(drop_rate=0.1, duplicate_rate=0.1, swap_rate=0.1, seed=9)
+        assert list(inject_trace_faults(trace, config)) == list(
+            inject_trace_faults(trace, config)
+        )
+
+    def test_input_trace_untouched(self):
+        trace = make_trace()
+        before = list(trace)
+        inject_trace_faults(
+            trace, TraceFaultConfig(drop_rate=0.5, duplicate_rate=0.5, seed=1)
+        )
+        assert list(trace) == before
+
+    def test_log_accounts_for_length_change(self):
+        trace = make_trace()
+        log = TraceFaultLog()
+        faulty = inject_trace_faults(
+            trace,
+            TraceFaultConfig(
+                drop_rate=0.1, duplicate_rate=0.1, truncate_fraction=0.2, seed=3
+            ),
+            log=log,
+        )
+        assert log.input_ops == len(trace)
+        assert log.output_ops == len(faulty)
+        assert log.truncated == int(len(trace) * 0.2)
+        assert (
+            log.output_ops
+            == log.input_ops - log.truncated - log.dropped + log.duplicated
+        )
+
+    def test_truncate_cuts_the_tail(self):
+        trace = make_trace(100)
+        faulty = inject_trace_faults(trace, TraceFaultConfig(truncate_fraction=0.25))
+        assert list(faulty) == list(trace)[:75]
+
+    def test_swap_preserves_multiset(self):
+        trace = make_trace(200)
+        faulty = inject_trace_faults(trace, TraceFaultConfig(swap_rate=0.3, seed=5))
+        assert sorted(r.lba for r in faulty) == sorted(r.lba for r in trace)
+        assert list(faulty) != list(trace)
+
+    def test_duplicates_are_adjacent(self):
+        trace = make_trace(100)
+        log = TraceFaultLog()
+        faulty = inject_trace_faults(
+            trace, TraceFaultConfig(duplicate_rate=0.2, seed=2), log=log
+        )
+        assert log.duplicated > 0
+        requests = list(faulty)
+        adjacent_pairs = sum(
+            1 for a, b in zip(requests, requests[1:]) if a is b
+        )
+        assert adjacent_pairs == log.duplicated
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            TraceFaultConfig(drop_rate=1.5)
+        with pytest.raises(ValueError, match="truncate_fraction"):
+            TraceFaultConfig(truncate_fraction=2.0)
+
+
+class TestReplayUnderTraceFaults:
+    def test_techniques_survive_faulty_traces(self):
+        """Every technique must replay a damaged trace without blowing up."""
+        from repro.core import ALL_CONFIGS, build_translator, replay
+        from repro import synthesize_workload
+
+        trace = synthesize_workload("w91", seed=3, scale=0.05)
+        faulty = inject_trace_faults(
+            trace,
+            TraceFaultConfig(
+                drop_rate=0.05, duplicate_rate=0.05, swap_rate=0.05,
+                truncate_fraction=0.1, seed=13,
+            ),
+        )
+        for config in ALL_CONFIGS:
+            result = replay(faulty, build_translator(faulty, config))
+            assert result.stats.ops == len(faulty)

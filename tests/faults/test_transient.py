@@ -1,0 +1,143 @@
+"""Transient read errors, retry policy, and metric determinism."""
+
+import pytest
+
+from repro.core import (
+    LS,
+    NOLS,
+    RetriesExhaustedError,
+    RetryPolicy,
+    Simulator,
+    TransientIOError,
+    build_translator,
+    replay,
+)
+from repro.faults import FaultyTranslator, TransientFaultConfig
+from repro.trace.record import IORequest
+from repro.trace.trace import Trace
+
+
+def make_trace(n=300):
+    ops = []
+    for i in range(n):
+        if i % 3 == 0:
+            ops.append(IORequest.write(i * 8, 8, i * 0.001))
+        else:
+            ops.append(IORequest.read((i % 50) * 8, 8, i * 0.001))
+    return Trace(ops, name="mixed")
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(base_delay_s=0.5, multiplier=2.0)
+        assert [policy.delay_for(a) for a in range(3)] == [0.5, 1.0, 2.0]
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.0)
+
+
+class TestFaultyTranslator:
+    def test_wrapper_is_transparent_when_rate_zero(self):
+        trace = make_trace()
+        clean = replay(trace, build_translator(trace, LS))
+        wrapped = FaultyTranslator(
+            build_translator(trace, LS), TransientFaultConfig(read_error_rate=0.0)
+        )
+        faulty = replay(trace, wrapped)
+        assert faulty.stats == clean.stats
+        assert faulty.translator == "LS+faulty"
+
+    def test_faults_propagate_without_retry_policy(self):
+        trace = make_trace()
+        wrapped = FaultyTranslator(
+            build_translator(trace, LS),
+            TransientFaultConfig(read_error_rate=1.0, seed=0),
+        )
+        with pytest.raises(TransientIOError):
+            replay(trace, wrapped)
+
+    def test_seek_metrics_deterministic_and_unperturbed(self):
+        """The acceptance invariant: for any fixed fault seed the retried
+        replay's seek/SAF accounting equals the fault-free replay's."""
+        trace = make_trace()
+        clean = replay(trace, build_translator(trace, LS))
+        for seed in (0, 7, 123):
+            wrapped = FaultyTranslator(
+                build_translator(trace, LS),
+                TransientFaultConfig(read_error_rate=0.2, seed=seed),
+            )
+            result = replay(trace, wrapped, retry_policy=RetryPolicy())
+            assert result.stats.seek_counters == clean.stats.seek_counters
+            assert result.stats.transient_errors == wrapped.injected_faults
+            assert result.stats.transient_errors > 0
+
+    def test_identical_seed_identical_run(self):
+        trace = make_trace()
+
+        def run(seed):
+            wrapped = FaultyTranslator(
+                build_translator(trace, LS),
+                TransientFaultConfig(read_error_rate=0.3, seed=seed),
+            )
+            result = replay(trace, wrapped, retry_policy=RetryPolicy())
+            return (
+                result.stats.transient_errors,
+                result.stats.retried_ops,
+                result.stats.retry_backoff_s,
+            )
+
+        assert run(99) == run(99)
+        assert run(99) != run(100)
+
+    def test_saf_unchanged_under_faults(self):
+        from repro.core import seek_amplification
+
+        trace = make_trace()
+        base = replay(trace, build_translator(trace, NOLS))
+        clean = replay(trace, build_translator(trace, LS))
+        wrapped = FaultyTranslator(
+            build_translator(trace, LS),
+            TransientFaultConfig(read_error_rate=0.15, seed=5),
+        )
+        faulty = replay(trace, wrapped, retry_policy=RetryPolicy())
+        assert (
+            seek_amplification(faulty.stats, base.stats).read
+            == seek_amplification(clean.stats, base.stats).read
+        )
+
+    def test_retries_exhausted_surfaces(self):
+        trace = make_trace()
+        wrapped = FaultyTranslator(
+            build_translator(trace, LS),
+            TransientFaultConfig(read_error_rate=1.0, seed=0, max_consecutive=10),
+        )
+        with pytest.raises(RetriesExhaustedError, match="failed after 3 attempts"):
+            Simulator(retry_policy=RetryPolicy(max_retries=2)).run(trace, wrapped)
+
+    def test_forward_progress_capped_by_max_consecutive(self):
+        """max_consecutive below the retry budget guarantees completion
+        even at a 100% error rate."""
+        trace = make_trace(60)
+        wrapped = FaultyTranslator(
+            build_translator(trace, LS),
+            TransientFaultConfig(read_error_rate=1.0, seed=0, max_consecutive=2),
+        )
+        result = replay(trace, wrapped, retry_policy=RetryPolicy(max_retries=4))
+        assert result.stats.ops == len(trace)
+        reads = sum(1 for r in trace if r.is_read)
+        assert result.stats.transient_errors == 2 * reads
+
+    def test_backoff_accounting(self):
+        trace = Trace([IORequest.write(0, 8), IORequest.read(0, 8)], name="two")
+        wrapped = FaultyTranslator(
+            build_translator(trace, LS),
+            TransientFaultConfig(read_error_rate=1.0, seed=0, max_consecutive=2),
+        )
+        policy = RetryPolicy(max_retries=4, base_delay_s=1.0, multiplier=10.0)
+        result = replay(trace, wrapped, retry_policy=policy)
+        # The single read faults twice: backoff 1.0 + 10.0 simulated seconds.
+        assert result.stats.retry_backoff_s == pytest.approx(11.0)
+        assert result.stats.retried_ops == 1

@@ -26,9 +26,11 @@ class TestParseCloudphysicsLines:
     def test_max_ops(self):
         assert len(parse_cloudphysics_lines(CP_SAMPLE, max_ops=1)) == 1
 
-    def test_skips_non_positive_length(self):
+    def test_zero_length_is_malformed(self):
         lines = ["1,R,0,0", "2,R,0,4"]
-        assert len(parse_cloudphysics_lines(lines)) == 1
+        with pytest.raises(ValueError, match="length must be > 0"):
+            parse_cloudphysics_lines(lines)
+        assert len(parse_cloudphysics_lines(lines, policy="lenient")) == 1
 
     def test_bad_record(self):
         with pytest.raises(ValueError, match="bad CloudPhysics record"):

@@ -39,9 +39,11 @@ class TestParseMsrLines:
     def test_max_ops(self):
         assert len(parse_msr_lines(MSR_SAMPLE, max_ops=2)) == 2
 
-    def test_skips_zero_size(self):
+    def test_zero_size_is_malformed(self):
         lines = ["128166372003061629,hm,1,Read,0,0,100"] + MSR_SAMPLE[:1]
-        assert len(parse_msr_lines(lines)) == 1
+        with pytest.raises(ValueError, match="size must be > 0"):
+            parse_msr_lines(lines)
+        assert len(parse_msr_lines(lines, policy="lenient")) == 1
 
     def test_bad_record_raises_with_location(self):
         with pytest.raises(ValueError, match="bad:2"):

@@ -1,0 +1,37 @@
+"""Atomic file writing."""
+
+import json
+import os
+
+import pytest
+
+from repro.util.io import atomic_write_json, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = atomic_write_text(tmp_path / "a.txt", "hello")
+        assert path.read_text() == "hello"
+
+    def test_no_tmp_file_remains(self, tmp_path):
+        atomic_write_json(tmp_path / "a.json", {"x": 1})
+        assert os.listdir(tmp_path) == ["a.json"]
+
+    def test_replaces_existing(self, tmp_path):
+        target = tmp_path / "a.json"
+        atomic_write_json(target, {"v": 1})
+        atomic_write_json(target, {"v": 2})
+        assert json.loads(target.read_text()) == {"v": 2}
+
+    def test_json_is_sorted_and_newline_terminated(self, tmp_path):
+        target = atomic_write_json(tmp_path / "a.json", {"b": 1, "a": 2})
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+
+    def test_failed_serialization_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "a.json"
+        atomic_write_json(target, {"v": 1})
+        with pytest.raises(TypeError):
+            atomic_write_json(target, {"v": object()})
+        assert json.loads(target.read_text()) == {"v": 1}
