@@ -2,13 +2,30 @@
 
 PYTHON ?= python
 
-.PHONY: install test smoke bench experiments charts lint-clean all
+# Targets work from a bare checkout: the in-tree package wins over any
+# installed copy.
+export PYTHONPATH := src
+
+# Optional tooling is detected, never required: the coverage floor only
+# gates when pytest-cov is importable, and test-fast only parallelizes
+# when pytest-xdist is.
+COV_FLAGS := $(shell $(PYTHON) -c "import pytest_cov" 2>/dev/null && echo --cov=repro --cov-fail-under=85)
+XDIST_FLAGS := $(shell $(PYTHON) -c "import xdist" 2>/dev/null && echo -n auto)
+
+.PHONY: install test test-fast smoke bench bench-micro experiments charts lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	$(PYTHON) -m pytest tests/ $(COV_FLAGS)
+
+# The same suite, wall-clock-optimized: differential oracle first (it
+# guards the batch kernels everything else now rides on), then the rest,
+# fanned out across cores when pytest-xdist is available.
+test-fast:
+	$(PYTHON) -m pytest tests/differential/ -q
+	$(PYTHON) -m pytest tests/ -q $(XDIST_FLAGS)
 
 # Crash-safety smoke: a tiny full run with failure isolation, then a
 # resume of the same run (which must skip every exhibit).  See
@@ -18,7 +35,15 @@ smoke:
 	$(PYTHON) -m repro.experiments all --scale 0.05 --out /tmp/smoke --keep-going
 	$(PYTHON) -m repro.experiments all --scale 0.05 --out /tmp/smoke --keep-going --resume
 
+# Replay-kernel macro-benchmark + regression gate: writes BENCH_core.json
+# and fails on >20% slowdown vs the checked-in BENCH_baseline.json or a
+# batch-kernel speedup below 3x (see benchmarks/check_regression.py).
 bench:
+	$(PYTHON) benchmarks/bench_kernels.py --out benchmarks/BENCH_core.json
+	$(PYTHON) benchmarks/check_regression.py benchmarks/BENCH_core.json
+
+# The original pytest-benchmark micro suite (per-exhibit + substrate).
+bench-micro:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:

@@ -139,3 +139,27 @@ def test_bench_fast_nols_seek_counts(benchmark):
     trace = mixed_trace()
     read_seeks, write_seeks = benchmark(lambda: nols_seek_counts(trace))
     assert read_seeks + write_seeks > 0
+
+
+def test_bench_batch_replay_nols(benchmark):
+    from repro.core.batch import batch_replay
+
+    trace = mixed_trace()
+    result = benchmark(lambda: batch_replay(trace, NOLS))
+    assert result.stats.ops == OPS
+
+
+def test_bench_batch_replay_log_structured(benchmark):
+    from repro.core.batch import batch_replay
+
+    trace = mixed_trace()
+    result = benchmark(lambda: batch_replay(trace, LS))
+    assert result.stats.ops == OPS
+
+
+def test_bench_batch_replay_with_selective_cache(benchmark):
+    from repro.core.batch import batch_replay
+
+    trace = mixed_trace()
+    result = benchmark(lambda: batch_replay(trace, LS_CACHE))
+    assert result.stats.ops == OPS

@@ -1,0 +1,99 @@
+"""Gate a ``bench_kernels.py`` run against the checked-in baseline.
+
+Fails (exit 1) when any shared benchmark is more than ``--tolerance``
+slower than ``BENCH_baseline.json``, or when the stateful batch kernel's
+speedup over the reference replay falls below ``--min-speedup`` (the
+paper-repro acceptance bar is 3x on a million-op trace).  Wall-clock
+numbers move with the machine, so the baseline is only meaningful on
+comparable hardware; re-baseline with::
+
+    python benchmarks/bench_kernels.py --out benchmarks/BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.20
+DEFAULT_MIN_SPEEDUP = 3.0
+
+
+def _flatten(results: dict) -> dict:
+    """``{benchmark: {reference|batch: {...}}}`` -> ``{path: seconds}``."""
+    flat = {}
+    for name, pair in results.items():
+        for side in ("reference", "batch"):
+            if side in pair:
+                flat[f"{name}.{side}"] = pair[side]["seconds"]
+    return flat
+
+
+def check(current: dict, baseline: dict, tolerance: float, min_speedup: float):
+    """Yield ``(ok, message)`` per check, comparing like with like."""
+    if current.get("ops") != baseline.get("ops"):
+        yield False, (
+            f"op counts differ (current {current.get('ops')}, baseline "
+            f"{baseline.get('ops')}); timings are not comparable"
+        )
+        return
+
+    current_flat = _flatten(current.get("results", {}))
+    baseline_flat = _flatten(baseline.get("results", {}))
+    for name in sorted(set(current_flat) & set(baseline_flat)):
+        now, then = current_flat[name], baseline_flat[name]
+        ratio = now / then if then else float("inf")
+        ok = ratio <= 1.0 + tolerance
+        yield ok, (
+            f"{name}: {now:.2f}s vs baseline {then:.2f}s "
+            f"({(ratio - 1) * 100:+.0f}%, limit +{tolerance * 100:.0f}%)"
+        )
+
+    ls_batch = current.get("results", {}).get("replay_ls", {}).get("batch", {})
+    speedup = ls_batch.get("speedup_vs_reference", 0.0)
+    yield speedup >= min_speedup, (
+        f"replay_ls batch speedup {speedup:.2f}x "
+        f"(required >= {min_speedup:.1f}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "current", nargs="?", default="benchmarks/BENCH_core.json", metavar="FILE"
+    )
+    parser.add_argument(
+        "--baseline", default="benchmarks/BENCH_baseline.json", metavar="FILE"
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP)
+    args = parser.parse_args(argv)
+
+    try:
+        current = json.loads(Path(args.current).read_text())
+    except OSError as exc:
+        print(f"no current results ({exc}); run bench_kernels.py first")
+        return 1
+    try:
+        baseline = json.loads(Path(args.baseline).read_text())
+    except OSError as exc:
+        print(f"no baseline ({exc}); nothing to gate against")
+        return 1
+
+    failed = 0
+    for ok, message in check(
+        current, baseline, args.tolerance, args.min_speedup
+    ):
+        print(("ok   " if ok else "FAIL ") + message)
+        failed += 0 if ok else 1
+    if failed:
+        print(f"{failed} regression check(s) failed")
+        return 1
+    print("all regression checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,10 @@ equivalents for the analyses that need no translation state — baseline
 (NoLS) seek counting and seek distances — with tests asserting exact
 agreement with the reference path.
 
-The log-structured replay itself is stateful (extent map, caches) and
-stays in Python.
+The stateful log-structured replay has its own vectorized kernel in
+:mod:`repro.core.batch` (chunked sweeps over the extent map with
+vectorized seek classification); :func:`nols_sim_stats` below exposes the
+batch NoLS kernel at analysis level for symmetry.
 """
 
 from __future__ import annotations
@@ -23,16 +25,25 @@ from repro.util.units import kib_to_sectors
 
 
 def trace_arrays(trace: Trace) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Decompose a trace into (is_read, lba, length) numpy arrays."""
-    n = len(trace)
-    is_read = np.empty(n, dtype=bool)
-    lba = np.empty(n, dtype=np.int64)
-    length = np.empty(n, dtype=np.int64)
-    for i, request in enumerate(trace):
-        is_read[i] = request.is_read
-        lba[i] = request.lba
-        length[i] = request.length
-    return is_read, lba, length
+    """Decompose a trace into (is_read, lba, length) numpy arrays.
+
+    Delegates to :meth:`~repro.trace.trace.Trace.as_arrays`, which caches
+    the decomposition on the trace; treat the arrays as read-only.
+    """
+    return trace.as_arrays()
+
+
+def nols_sim_stats(trace: Trace):
+    """Full :class:`~repro.core.outcomes.SimStats` of the NoLS replay.
+
+    Vectorized equivalent of ``replay(trace, InPlaceTranslator()).stats``
+    (exact-match tested by the differential suite); use this instead of
+    :func:`nols_seek_counts` when the complete counter set is wanted.
+    """
+    from repro.core.batch import batch_replay
+    from repro.core.config import NOLS
+
+    return batch_replay(trace, NOLS).stats
 
 
 def nols_seek_counts(trace: Trace) -> Tuple[int, int]:

@@ -25,6 +25,13 @@ from repro.core.errors import (
     TransientIOError,
 )
 from repro.core.simulator import RetryPolicy, RunResult, Simulator, replay
+from repro.core.batch import (
+    BatchRunResult,
+    BatchUnsupportedError,
+    batch_replay,
+    batch_replay_translator,
+    supports_batch,
+)
 from repro.core.recorders import (
     Recorder,
     SeekRecord,
@@ -66,6 +73,11 @@ __all__ = [
     "RetryPolicy",
     "Simulator",
     "replay",
+    "BatchRunResult",
+    "BatchUnsupportedError",
+    "batch_replay",
+    "batch_replay_translator",
+    "supports_batch",
     "SimulationError",
     "TransientIOError",
     "RetriesExhaustedError",

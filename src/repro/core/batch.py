@@ -1,0 +1,374 @@
+"""Vectorized (numpy) batch replay kernels for the translators.
+
+The reference replay path — :class:`~repro.core.simulator.Simulator`
+driving :meth:`Translator.submit` — materializes an
+:class:`~repro.core.outcomes.IOOutcome` (plus one
+:class:`~repro.core.outcomes.SegmentAccess` per fragment and one
+:class:`~repro.disk.head.AccessEvent` per head movement) for every
+operation.  That per-op object traffic is what makes multi-million-op
+replays slow, not the extent-map arithmetic.  This module replays the same
+translators over numpy op arrays instead:
+
+* **NoLS** is stateless, so the whole replay collapses to array
+  expressions over ``Trace.as_arrays()`` — no Python loop at all.
+* **Log-structured** replay is stateful (the extent map evolves with every
+  write), so the kernel sweeps the trace in *chunks*: a tight Python loop
+  per chunk performs only the stateful work (extent-map lookups via
+  :meth:`~repro.extentmap.base.AddressMap.lookup_pieces`, frontier
+  appends, technique-policy calls), appending bare integers to flat
+  access-stream buffers; seek classification and distance accumulation
+  over each chunk's access stream are then fully vectorized.
+
+Both kernels are **exact**, not approximate: they reproduce the reference
+path's seek counts, seek-distance log, aggregate statistics and final
+extent-map state bit for bit (the differential suite under
+``tests/differential/`` is the oracle).  Translator features the kernels
+do not cover — zoned cleaning, multi-frontier translation, fault
+injection, retry policies, recorders — automatically fall back to the
+reference simulator when selected through
+:func:`repro.experiments.common.replay_with`.
+
+Doctest (a write then a fragmenting overwrite-and-read)::
+
+    >>> from repro.core.batch import batch_replay
+    >>> from repro.core.config import LS
+    >>> from repro.trace.record import IORequest
+    >>> from repro.trace.trace import Trace
+    >>> trace = Trace([
+    ...     IORequest.write(0, 8, 0.0),     # maps [0, 8) at the frontier
+    ...     IORequest.write(4, 4, 0.001),   # splits the first extent
+    ...     IORequest.read(0, 8, 0.002),    # now a two-fragment read
+    ... ], name="doc")
+    >>> result = batch_replay(trace, LS)
+    >>> result.stats.fragmented_reads, result.stats.read_seeks
+    (1, 2)
+    >>> list(result.distances)              # doctest: +ELLIPSIS
+    [np.int64(-12), np.int64(4)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import TechniqueConfig, build_translator
+from repro.core.outcomes import SimStats
+from repro.core.simulator import RunResult
+from repro.core.translators import (
+    InPlaceTranslator,
+    LogStructuredTranslator,
+    Translator,
+)
+from repro.trace.trace import Trace
+
+#: Operations swept per chunk by the log-structured kernel.  The result is
+#: chunk-size independent (head position carries across chunks); the value
+#: only bounds peak buffer memory and amortizes numpy call overhead.
+DEFAULT_CHUNK_OPS = 8192
+
+# Access-stream kind codes (mirror the reference seek attribution).
+_KIND_READ = 0
+_KIND_WRITE = 1
+_KIND_DEFRAG = 2
+
+
+class BatchUnsupportedError(ValueError):
+    """The requested translator/configuration has no batch kernel."""
+
+
+@dataclass(frozen=True)
+class BatchRunResult:
+    """Result of one batch replay: the reference summary plus array extras.
+
+    Attributes:
+        run_result: Drop-in :class:`~repro.core.simulator.RunResult`
+            identical to what the reference simulator returns.
+        distances: Signed distances of every seek, in access order —
+            element-for-element what ``SeekLogRecorder.distances`` records.
+        distance_is_read: Parallel bool array: True where the seek was
+            charged in the read direction (False for host and defrag
+            writes), matching ``SeekRecord.is_read``.
+        translator: The translator the kernel drove; its extent map,
+            frontier, head position and technique state are left exactly as
+            a reference replay would leave them.
+    """
+
+    run_result: RunResult
+    distances: np.ndarray
+    distance_is_read: np.ndarray
+    translator: Translator
+
+    @property
+    def stats(self) -> SimStats:
+        return self.run_result.stats
+
+    @property
+    def read_distances(self) -> np.ndarray:
+        """Distances of read-direction seeks only (Fig. 4's input)."""
+        return self.distances[self.distance_is_read]
+
+
+def supports_batch(config: TechniqueConfig) -> bool:
+    """True if :func:`batch_replay` covers this technique configuration.
+
+    Every :class:`TechniqueConfig` is covered (NoLS, plain LS and the
+    three seek-reduction techniques in any combination).  Features outside
+    the config system — cleaning, multi-frontier, fault injection,
+    recorders, retry policies — are not, and callers needing them must use
+    the reference simulator.
+    """
+    return isinstance(config, TechniqueConfig)
+
+
+def batch_replay(
+    trace: Trace,
+    config: TechniqueConfig,
+    chunk_ops: int = DEFAULT_CHUNK_OPS,
+) -> BatchRunResult:
+    """Replay ``trace`` under ``config`` with the vectorized kernels.
+
+    Builds a fresh translator exactly like
+    :func:`~repro.core.config.build_translator` and drives it through
+    :func:`batch_replay_translator`; the returned ``run_result`` equals the
+    reference ``replay(trace, build_translator(trace, config))`` result.
+    """
+    if not supports_batch(config):
+        raise BatchUnsupportedError(
+            f"no batch kernel for config {config!r}; use the reference Simulator"
+        )
+    return batch_replay_translator(trace, build_translator(trace, config), chunk_ops)
+
+
+def batch_replay_translator(
+    trace: Trace,
+    translator: Translator,
+    chunk_ops: int = DEFAULT_CHUNK_OPS,
+) -> BatchRunResult:
+    """Drive an existing translator with the matching batch kernel.
+
+    The translator must be freshly constructed (or in the exact state a
+    previous batch/reference replay left it — the kernel continues from
+    the current head/frontier/map state).  Raises
+    :class:`BatchUnsupportedError` for translator types without a kernel
+    (cleaning, multi-frontier, fault wrappers).
+    """
+    if chunk_ops <= 0:
+        raise ValueError(f"chunk_ops must be > 0, got {chunk_ops}")
+    if type(translator) is InPlaceTranslator:
+        return _batch_nols(trace, translator)
+    if type(translator) is LogStructuredTranslator:
+        return _batch_log_structured(trace, translator, chunk_ops)
+    raise BatchUnsupportedError(
+        f"no batch kernel for {type(translator).__name__}; "
+        "use the reference Simulator"
+    )
+
+
+# --------------------------------------------------------------------- #
+# NoLS: fully vectorized
+# --------------------------------------------------------------------- #
+
+
+def _batch_nols(trace: Trace, translator: InPlaceTranslator) -> BatchRunResult:
+    """In-place baseline: PBA = LBA, one fragment per op, pure array math."""
+    is_read, lba, length = trace.as_arrays()
+    n = len(trace)
+    stats = SimStats()
+    distances = np.empty(0, dtype=np.int64)
+    dist_is_read = np.empty(0, dtype=bool)
+    if n:
+        prev_end = np.empty(n, dtype=np.int64)
+        prev_end[0] = lba[0]  # first access never seeks
+        np.add(lba[:-1], length[:-1], out=prev_end[1:])
+        seek = lba != prev_end
+        distances = (lba - prev_end)[seek]
+        dist_is_read = is_read[seek]
+        reads = int(np.count_nonzero(is_read))
+        stats.reads = reads
+        stats.writes = n - reads
+        stats.read_seeks = int(np.count_nonzero(dist_is_read))
+        stats.write_seeks = int(distances.size - stats.read_seeks)
+        stats.read_fragments = reads
+        stats.sectors_read = int(length[is_read].sum())
+        stats.sectors_written = int(length.sum()) - stats.sectors_read
+        # Leave the head exactly where the reference replay would.
+        translator.head._position = int(lba[-1] + length[-1])
+    return BatchRunResult(
+        run_result=RunResult(
+            trace_name=trace.name,
+            translator=translator.description,
+            stats=stats,
+        ),
+        distances=distances,
+        distance_is_read=dist_is_read,
+        translator=translator,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Log-structured: chunked sweep + vectorized classification
+# --------------------------------------------------------------------- #
+
+
+def _batch_log_structured(
+    trace: Trace,
+    translator: LogStructuredTranslator,
+    chunk_ops: int,
+) -> BatchRunResult:
+    stats = SimStats()
+    amap = translator.address_map
+    lookup_pieces = amap.lookup_pieces
+    map_range = amap.map_range
+    defrag = translator.defrag
+    prefetcher = translator.prefetcher
+    cache = translator.cache
+    plain = defrag is None and prefetcher is None and cache is None
+
+    frontier = translator.frontier
+    frontier_base = translator.frontier_base
+    head_position = translator.head.position  # None before any access
+
+    requests = trace.requests
+    n = len(requests)
+    distance_chunks: List[np.ndarray] = []
+    read_flag_chunks: List[np.ndarray] = []
+
+    # Scalar accumulators kept in locals for speed, folded into stats after.
+    reads = writes = 0
+    sectors_read = sectors_written = 0
+    read_fragments = fragmented_reads = 0
+    cache_hits = buffer_hits = 0
+    defrag_rewrites = defrag_sectors = 0
+    read_seeks = write_seeks = defrag_write_seeks = 0
+
+    for start in range(0, n, chunk_ops):
+        chunk = requests[start : start + chunk_ops]
+        # Flat access-stream buffers for this chunk (disk accesses only;
+        # cache/buffer hits never move the head).
+        pba_buf: List[int] = []
+        len_buf: List[int] = []
+        kind_buf: List[int] = []
+        append_pba = pba_buf.append
+        append_len = len_buf.append
+        append_kind = kind_buf.append
+
+        for request in chunk:
+            req_length = request.length
+            if request.is_write:
+                append_pba(frontier)
+                append_len(req_length)
+                append_kind(_KIND_WRITE)
+                map_range(request.lba, frontier, req_length)
+                frontier += req_length
+                writes += 1
+                sectors_written += req_length
+                continue
+
+            req_lba = request.lba
+            if req_lba + req_length > frontier_base:
+                raise ValueError(
+                    f"request [{req_lba}, {req_lba + req_length}) crosses the "
+                    f"frontier base {frontier_base}; size the log above the "
+                    "workload's LBA space"
+                )
+            pieces = lookup_pieces(req_lba, req_length)
+            fragments = len(pieces)
+            reads += 1
+            sectors_read += req_length
+            read_fragments += fragments
+            if plain or fragments == 1:
+                # Unfragmented reads bypass every technique (the paper's
+                # FragmentedRead guard); plain LS has no techniques at all.
+                for pba, piece_length, _hole in pieces:
+                    append_pba(pba)
+                    append_len(piece_length)
+                    append_kind(_KIND_READ)
+                if fragments > 1:
+                    fragmented_reads += 1
+                continue
+
+            fragmented_reads += 1
+            for pba, piece_length, _hole in pieces:
+                if cache is not None and cache.lookup(pba, piece_length):
+                    cache_hits += 1
+                    continue
+                if prefetcher is not None and prefetcher.covers(pba, piece_length):
+                    buffer_hits += 1
+                    continue
+                append_pba(pba)
+                append_len(piece_length)
+                append_kind(_KIND_READ)
+                if prefetcher is not None:
+                    prefetcher.note_fragment_read(pba, piece_length)
+                if cache is not None:
+                    cache.admit(pba, piece_length)
+            if defrag is not None and defrag.should_defragment(
+                req_lba, req_length, fragments
+            ):
+                append_pba(frontier)
+                append_len(req_length)
+                append_kind(_KIND_DEFRAG)
+                map_range(req_lba, frontier, req_length)
+                frontier += req_length
+                defrag_rewrites += 1
+                defrag_sectors += req_length
+                defrag.note_defragmented(req_lba, req_length)
+
+        if not pba_buf:
+            continue
+        # Vectorized seek classification over the chunk's access stream.
+        pba_arr = np.asarray(pba_buf, dtype=np.int64)
+        len_arr = np.asarray(len_buf, dtype=np.int64)
+        kind_arr = np.asarray(kind_buf, dtype=np.int8)
+        prev_end = np.empty_like(pba_arr)
+        prev_end[0] = pba_arr[0] if head_position is None else head_position
+        np.add(pba_arr[:-1], len_arr[:-1], out=prev_end[1:])
+        seek = pba_arr != prev_end
+        seek_kinds = kind_arr[seek]
+        read_seeks += int(np.count_nonzero(seek_kinds == _KIND_READ))
+        write_seeks += int(np.count_nonzero(seek_kinds == _KIND_WRITE))
+        defrag_write_seeks += int(np.count_nonzero(seek_kinds == _KIND_DEFRAG))
+        distance_chunks.append((pba_arr - prev_end)[seek])
+        read_flag_chunks.append(seek_kinds == _KIND_READ)
+        head_position = int(pba_arr[-1] + len_arr[-1])
+
+    stats.reads = reads
+    stats.writes = writes
+    stats.sectors_read = sectors_read
+    stats.sectors_written = sectors_written
+    stats.read_fragments = read_fragments
+    stats.fragmented_reads = fragmented_reads
+    stats.cache_fragment_hits = cache_hits
+    stats.buffer_fragment_hits = buffer_hits
+    stats.defrag_rewrites = defrag_rewrites
+    stats.defrag_rewritten_sectors = defrag_sectors
+    stats.read_seeks = read_seeks
+    stats.write_seeks = write_seeks
+    stats.defrag_write_seeks = defrag_write_seeks
+
+    # Leave the translator in the exact state a reference replay produces.
+    translator._frontier = frontier
+    translator.head._position = head_position
+
+    distances = (
+        np.concatenate(distance_chunks)
+        if distance_chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    dist_is_read = (
+        np.concatenate(read_flag_chunks)
+        if read_flag_chunks
+        else np.empty(0, dtype=bool)
+    )
+    return BatchRunResult(
+        run_result=RunResult(
+            trace_name=trace.name,
+            translator=translator.description,
+            stats=stats,
+        ),
+        distances=distances,
+        distance_is_read=dist_is_read,
+        translator=translator,
+    )

@@ -29,6 +29,12 @@ class TechniqueConfig:
         defrag: Opportunistic-defrag settings, or None to disable.
         prefetch: Look-ahead-behind settings, or None to disable.
         cache: Selective-cache settings, or None to disable.
+        fast: Prefer the vectorized batch kernel
+            (:mod:`repro.core.batch`) when replaying this configuration
+            through :func:`repro.experiments.common.replay_with`.  The
+            kernel is exact (differential-suite pinned), so results are
+            unchanged; replays needing recorders fall back to the
+            reference simulator automatically.
     """
 
     name: str
@@ -36,6 +42,7 @@ class TechniqueConfig:
     defrag: Optional[DefragConfig] = None
     prefetch: Optional[PrefetchConfig] = None
     cache: Optional[SelectiveCacheConfig] = None
+    fast: bool = False
 
 
 NOLS = TechniqueConfig(name="NoLS", log_structured=False)

@@ -153,8 +153,26 @@ def replay(
     translator: Translator,
     recorders: Iterable[Recorder] = (),
     retry_policy: Optional[RetryPolicy] = None,
+    fast: bool = False,
 ) -> RunResult:
-    """One-shot convenience wrapper: replay and return the result."""
+    """One-shot convenience wrapper: replay and return the result.
+
+    With ``fast=True`` the replay is dispatched to the vectorized batch
+    kernel (:mod:`repro.core.batch`), which produces bit-identical results
+    and leaves ``translator`` in the identical final state.  The fast path
+    silently falls back to the reference simulator when it cannot apply:
+    recorders or a retry policy are present (they need per-op outcomes),
+    or the translator type has no kernel (cleaning, multi-frontier, fault
+    wrappers).
+    """
+    recorders = list(recorders)
+    if fast and not recorders and retry_policy is None:
+        from repro.core.batch import BatchUnsupportedError, batch_replay_translator
+
+        try:
+            return batch_replay_translator(trace, translator).run_result
+        except BatchUnsupportedError:
+            pass
     return Simulator(
-        recorders=list(recorders), retry_policy=retry_policy
+        recorders=recorders, retry_policy=retry_policy
     ).run(trace, translator)

@@ -6,7 +6,12 @@ Examples::
     python -m repro.experiments fig11 fig10 --seed 7
     python -m repro.experiments all --out results/ --keep-going --timeout 600
     python -m repro.experiments all --out results/ --resume
+    python -m repro.experiments all --out results/ --jobs 4 --fast
     repro-experiments table1
+
+``--jobs N`` fans exhibits out across N worker processes and ``--fast``
+replays through the vectorized batch kernels; both are exact — exhibit
+JSON is byte-identical to a serial, reference-path run.
 
 Long runs are crash-safe (see docs/ROBUSTNESS.md): with ``--out`` every
 exhibit JSON and the ``run.json`` manifest are written atomically, and
@@ -76,7 +81,23 @@ def main(argv=None) -> int:
         help="skip exhibits already completed by a previous run with the "
         "same --out, seed and scale (needs the run.json manifest)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run exhibits across N worker processes (default 1 = serial; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="replay through the vectorized batch kernels (exact; replays "
+        "needing recorders fall back to the reference path automatically)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.exhibits == ["report"]:
         from repro.experiments.report import write_report
@@ -103,6 +124,8 @@ def main(argv=None) -> int:
         keep_going=args.keep_going,
         timeout_s=args.timeout,
         resume=args.resume,
+        jobs=args.jobs,
+        fast=args.fast,
     )
     failed = [o for o in outcomes if not o.ok]
     if args.keep_going or failed or len(outcomes) > 1:

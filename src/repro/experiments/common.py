@@ -6,6 +6,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Tuple
 
+from repro.core.batch import batch_replay
 from repro.core.config import TechniqueConfig, build_translator
 from repro.core.recorders import Recorder
 from repro.core.simulator import RunResult, Simulator
@@ -47,12 +48,45 @@ def trace_cache_size() -> int:
     return len(_trace_cache)
 
 
+_fast_replay_default = False
+
+
+def set_fast_replay(enabled: bool) -> None:
+    """Process-wide default for :func:`replay_with`'s fast path.
+
+    Flipped by the experiment CLI's ``--fast`` flag (and by the parallel
+    runner inside each worker process) so every exhibit replays through
+    the vectorized batch kernel without each call site opting in.
+    Replays that attach recorders still use the reference simulator.
+    """
+    global _fast_replay_default
+    _fast_replay_default = bool(enabled)
+
+
+def fast_replay_default() -> bool:
+    """Current process-wide fast-replay default (see :func:`set_fast_replay`)."""
+    return _fast_replay_default
+
+
 def replay_with(
     trace: Trace,
     config: TechniqueConfig,
     recorders: Sequence[Recorder] = (),
+    fast: Optional[bool] = None,
 ) -> RunResult:
-    """Replay ``trace`` under ``config`` with optional recorders attached."""
+    """Replay ``trace`` under ``config`` with optional recorders attached.
+
+    ``fast`` selects the vectorized batch kernel
+    (:mod:`repro.core.batch`); ``None`` defers to ``config.fast`` or the
+    process-wide default set by :func:`set_fast_replay`.  The kernel is
+    exact, and replays it cannot serve (recorders attached) fall back to
+    the reference simulator automatically, so enabling it never changes
+    results.
+    """
+    if fast is None:
+        fast = config.fast or _fast_replay_default
+    if fast and not recorders:
+        return batch_replay(trace, config).run_result
     translator = build_translator(trace, config)
     return Simulator(recorders=list(recorders)).run(trace, translator)
 

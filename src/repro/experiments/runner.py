@@ -1,4 +1,5 @@
-"""Crash-safe experiment runner: isolation, timeouts, checkpoint/resume.
+"""Crash-safe experiment runner: isolation, timeouts, checkpoint/resume,
+and a parallel (multi-process) execution mode.
 
 A long ``python -m repro.experiments all`` run must survive a bad exhibit,
 a hung exhibit, and a mid-run kill without losing completed work.  This
@@ -8,13 +9,22 @@ module wraps :func:`~repro.experiments.registry.run_exhibit` with:
   full traceback) and, with ``keep_going``, the run continues.
 * **Per-exhibit timeout** — a SIGALRM-based watchdog (POSIX main thread
   only; silently disabled elsewhere) turns a hung exhibit into a
-  ``timeout`` failure instead of a hung run.
+  ``timeout`` failure instead of a hung run.  In parallel mode every
+  worker task runs in its own process's main thread, so the watchdog arms
+  there too.
 * **A run manifest** — ``<out_dir>/run.json``, rewritten atomically after
   every exhibit, records per-exhibit status, duration, error traceback and
   a ``(name, seed, scale, version)`` fingerprint.
 * **Resume** — a rerun with ``resume=True`` skips exhibits whose manifest
   entry is ``ok``, whose fingerprint matches the current parameters, and
   whose JSON dump is present and valid; everything else is re-run.
+* **Parallelism** — ``jobs=N`` fans the exhibits out across a process
+  pool.  Exhibits are pure functions of ``(name, seed, scale)``, and each
+  worker defensively reseeds the global :mod:`random` state per exhibit
+  via :class:`~repro.util.rngtools.SeedSequenceFactory`, so a parallel
+  run writes byte-identical exhibit JSON to a serial run; only the
+  manifest's wall-clock durations differ.  The manifest stays
+  single-writer (the parent), so checkpointing and resume work unchanged.
 
 Because exhibit JSON dumps and the manifest are both written via
 tmp-file+rename (:mod:`repro.util.io`), a run killed at any instant leaves
@@ -24,18 +34,23 @@ only complete, parseable JSON on disk.
 from __future__ import annotations
 
 import hashlib
+import io
 import json
+import multiprocessing
+import random
 import signal
 import threading
 import time
 import traceback
-from contextlib import contextmanager
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import contextmanager, redirect_stdout
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.registry import run_exhibit
 from repro.util.io import atomic_write_json
+from repro.util.rngtools import SeedSequenceFactory
 
 MANIFEST_NAME = "run.json"
 
@@ -205,6 +220,134 @@ def _json_dump_valid(path: Path) -> bool:
         return False
 
 
+def _pool_worker(
+    task: Tuple[str, int, float, Optional[str], Optional[str], Optional[float], bool],
+) -> Tuple[str, str, float, Optional[str], List[str], str]:
+    """Run one exhibit inside a pool worker process.
+
+    Returns ``(name, status, duration_s, error, svg_paths, captured_stdout)``.
+    Never raises: every failure mode is folded into the status so the
+    parent keeps its single-writer control of the manifest.
+    """
+    name, seed, scale, out_dir, svg_dir, timeout_s, fast = task
+    # Exhibits are pure functions of (name, seed, scale), but reseed the
+    # process-global random state per exhibit anyway so any stray global
+    # RNG use is deterministic per (seed, exhibit) rather than dependent
+    # on worker task scheduling.
+    random.seed(SeedSequenceFactory(seed).seed_for(f"exhibit:{name}"))
+    from repro.experiments import common
+
+    common.set_fast_replay(fast)
+    captured = io.StringIO()
+    svg_paths: List[str] = []
+    start = time.time()
+    status, error = STATUS_OK, None
+    try:
+        with redirect_stdout(captured), exhibit_timeout(timeout_s):
+            data = run_exhibit(name, seed=seed, scale=scale, out_dir=out_dir)
+            if svg_dir:
+                from repro.experiments.charts import render_svg
+
+                svg_paths = [str(p) for p in render_svg(name, data, svg_dir)]
+    except ExhibitTimeoutError as exc:
+        status, error = STATUS_TIMEOUT, str(exc)
+    except BaseException:
+        status, error = STATUS_FAILED, traceback.format_exc()
+    return name, status, time.time() - start, error, svg_paths, captured.getvalue()
+
+
+def _run_pending_parallel(
+    pending: Sequence[str],
+    manifest: Optional[RunManifest],
+    seed: int,
+    scale: float,
+    out_dir: Optional[str],
+    svg_dir: Optional[str],
+    keep_going: bool,
+    timeout_s: Optional[float],
+    jobs: int,
+    fast: bool,
+    echo: Callable[[str], None],
+    mp_start_method: Optional[str],
+) -> Dict[str, ExhibitOutcome]:
+    """Fan ``pending`` exhibits out over a process pool.
+
+    The parent is the sole manifest writer: every pending exhibit is
+    marked ``running`` up front (preserving the serial manifest's entry
+    order), then marked done as worker results arrive.  Without
+    ``keep_going`` the first failure cancels the not-yet-started exhibits;
+    their placeholder entries are removed again so the manifest matches a
+    serial run that stopped at the failure.
+    """
+    context = multiprocessing.get_context(mp_start_method or "spawn")
+    fingerprints = {name: exhibit_fingerprint(name, seed, scale) for name in pending}
+    if manifest is not None:
+        for name in pending:
+            manifest.exhibits[name] = {
+                "status": STATUS_RUNNING,
+                "fingerprint": fingerprints[name],
+                "duration_s": 0.0,
+                "error": None,
+            }
+        manifest.save()
+
+    results: Dict[str, ExhibitOutcome] = {}
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+        futures = {
+            pool.submit(
+                _pool_worker,
+                (name, seed, scale, out_dir, svg_dir, timeout_s, fast),
+            ): name
+            for name in pending
+        }
+        not_done = set(futures)
+        abort = False
+        while not_done and not abort:
+            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+            for future in done:
+                name, status, duration, error, svg_paths, output = future.result()
+                if manifest is not None:
+                    manifest.mark_done(
+                        name, status, fingerprints[name], duration, error
+                    )
+                results[name] = ExhibitOutcome(name, status, duration, error)
+                echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
+                if output.rstrip():
+                    echo(output.rstrip())
+                for path in svg_paths:
+                    echo(f"(svg) {path}")
+                if status == STATUS_OK:
+                    echo(f"--- {name} done in {duration:.1f}s\n")
+                else:
+                    echo(f"--- {name} {status.upper()} after {duration:.1f}s")
+                    if error:
+                        echo(error.rstrip())
+                    echo("")
+                    if not keep_going:
+                        abort = True
+        if abort:
+            cancelled = [
+                futures[future] for future in not_done if future.cancel()
+            ]
+            # In-flight exhibits finish (their dumps stay valid); record them.
+            for future in not_done:
+                if future.cancelled():
+                    continue
+                name, status, duration, error, svg_paths, output = future.result()
+                if manifest is not None:
+                    manifest.mark_done(
+                        name, status, fingerprints[name], duration, error
+                    )
+                results[name] = ExhibitOutcome(name, status, duration, error)
+            if manifest is not None and cancelled:
+                # Unattempted exhibits are absent from a serial manifest;
+                # drop their placeholder entries.
+                for name in cancelled:
+                    manifest.exhibits.pop(name, None)
+                manifest.save()
+    return results
+
+
 def run_exhibits(
     names: Sequence[str],
     seed: int = 42,
@@ -215,13 +358,30 @@ def run_exhibits(
     timeout_s: Optional[float] = None,
     resume: bool = False,
     echo: Callable[[str], None] = print,
+    jobs: int = 1,
+    fast: bool = False,
+    mp_start_method: Optional[str] = None,
 ) -> List[ExhibitOutcome]:
-    """Run ``names`` in order with isolation, checkpointing and resume.
+    """Run ``names`` with isolation, checkpointing, resume and parallelism.
 
-    Returns one :class:`ExhibitOutcome` per *attempted* exhibit; without
-    ``keep_going`` the list stops at the first failure.  The manifest is
-    maintained only when ``out_dir`` is given (resume requires it).
+    Returns one :class:`ExhibitOutcome` per *attempted* exhibit, in
+    ``names`` order; without ``keep_going`` the run stops at the first
+    failure (serial: later exhibits are not attempted; parallel: exhibits
+    not yet started are cancelled, in-flight ones finish and are
+    recorded).  The manifest is maintained only when ``out_dir`` is given
+    (resume requires it).
+
+    Args:
+        jobs: Worker process count; ``1`` replays the classic serial path.
+            Exhibit JSON output is byte-identical either way.
+        fast: Replay exhibits through the vectorized batch kernel
+            (:mod:`repro.core.batch`; exact, so output is unchanged).
+        mp_start_method: multiprocessing start method for ``jobs > 1``
+            (default ``"spawn"`` for hermetic workers; tests use
+            ``"fork"`` to exercise failure injection).
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
     manifest: Optional[RunManifest] = None
     if out_dir is not None:
         out_path = Path(out_dir)
@@ -236,57 +396,86 @@ def run_exhibits(
     elif resume:
         raise ValueError("resume requires an out_dir (the manifest lives there)")
 
-    outcomes: List[ExhibitOutcome] = []
-    for name in names:
-        fingerprint = exhibit_fingerprint(name, seed, scale)
-        if (
+    def skip_on_resume(name: str, fingerprint: str) -> bool:
+        return (
             resume
             and manifest is not None
             and manifest.completed_ok(name, fingerprint)
             and _json_dump_valid(Path(out_dir) / f"{name}.json")
-        ):
-            echo(f"=== {name}: already complete, skipping (resume)")
-            outcomes.append(ExhibitOutcome(name, STATUS_SKIPPED))
-            continue
+        )
 
-        if manifest is not None:
-            manifest.mark_running(name, fingerprint)
-        echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
-        start = time.time()
-        status, error = STATUS_OK, None
-        try:
-            with exhibit_timeout(timeout_s):
-                data = run_exhibit(name, seed=seed, scale=scale, out_dir=out_dir)
-                if svg_dir:
-                    from repro.experiments.charts import render_svg
+    if jobs > 1:
+        skipped: Dict[str, ExhibitOutcome] = {}
+        pending: List[str] = []
+        for name in names:
+            if skip_on_resume(name, exhibit_fingerprint(name, seed, scale)):
+                echo(f"=== {name}: already complete, skipping (resume)")
+                skipped[name] = ExhibitOutcome(name, STATUS_SKIPPED)
+            else:
+                pending.append(name)
+        results = _run_pending_parallel(
+            pending, manifest, seed, scale, out_dir, svg_dir,
+            keep_going, timeout_s, jobs, fast, echo, mp_start_method,
+        )
+        return [
+            outcome
+            for name in names
+            for outcome in (skipped.get(name) or results.get(name),)
+            if outcome is not None
+        ]
 
-                    for path in render_svg(name, data, svg_dir):
-                        echo(f"(svg) {path}")
-        except ExhibitTimeoutError as exc:
-            status, error = STATUS_TIMEOUT, str(exc)
-        except KeyboardInterrupt:
+    from repro.experiments import common
+
+    previous_fast = common.fast_replay_default()
+    common.set_fast_replay(fast)
+    outcomes: List[ExhibitOutcome] = []
+    try:
+        for name in names:
+            fingerprint = exhibit_fingerprint(name, seed, scale)
+            if skip_on_resume(name, fingerprint):
+                echo(f"=== {name}: already complete, skipping (resume)")
+                outcomes.append(ExhibitOutcome(name, STATUS_SKIPPED))
+                continue
             if manifest is not None:
-                manifest.mark_done(
-                    name, STATUS_FAILED, fingerprint,
-                    time.time() - start, "interrupted (KeyboardInterrupt)",
-                )
-            raise
-        except Exception:
-            status, error = STATUS_FAILED, traceback.format_exc()
-        duration = time.time() - start
+                manifest.mark_running(name, fingerprint)
+            echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
+            start = time.time()
+            status, error = STATUS_OK, None
+            try:
+                with exhibit_timeout(timeout_s):
+                    data = run_exhibit(name, seed=seed, scale=scale, out_dir=out_dir)
+                    if svg_dir:
+                        from repro.experiments.charts import render_svg
 
-        if manifest is not None:
-            manifest.mark_done(name, status, fingerprint, duration, error)
-        outcomes.append(ExhibitOutcome(name, status, duration, error))
-        if status == STATUS_OK:
-            echo(f"--- {name} done in {duration:.1f}s\n")
-        else:
-            echo(f"--- {name} {status.upper()} after {duration:.1f}s")
-            if error:
-                echo(error.rstrip())
-            echo("")
-            if not keep_going:
-                break
+                        for path in render_svg(name, data, svg_dir):
+                            echo(f"(svg) {path}")
+            except ExhibitTimeoutError as exc:
+                status, error = STATUS_TIMEOUT, str(exc)
+            except KeyboardInterrupt:
+                if manifest is not None:
+                    manifest.mark_done(
+                        name, STATUS_FAILED, fingerprint,
+                        time.time() - start, "interrupted (KeyboardInterrupt)",
+                    )
+                raise
+            except Exception:
+                status, error = STATUS_FAILED, traceback.format_exc()
+            duration = time.time() - start
+
+            if manifest is not None:
+                manifest.mark_done(name, status, fingerprint, duration, error)
+            outcomes.append(ExhibitOutcome(name, status, duration, error))
+            if status == STATUS_OK:
+                echo(f"--- {name} done in {duration:.1f}s\n")
+            else:
+                echo(f"--- {name} {status.upper()} after {duration:.1f}s")
+                if error:
+                    echo(error.rstrip())
+                echo("")
+                if not keep_going:
+                    break
+    finally:
+        common.set_fast_replay(previous_fast)
     return outcomes
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,22 @@ class AddressMap(abc.ABC):
     @abc.abstractmethod
     def mapped_sector_count(self) -> int:
         """Total number of currently mapped logical sectors."""
+
+    def lookup_pieces(self, lba: int, length: int) -> List[Tuple[int, int, bool]]:
+        """Resolve ``[lba, lba+length)`` to ``(pba, length, is_hole)`` triples.
+
+        Identical tiling and merge semantics to :meth:`lookup`, but holes
+        are resolved to their identity placement (``pba = lba``, the
+        paper's "unwritten data resides at its LBA" rule) and no
+        :class:`Segment` objects are created — this is the batch replay
+        kernel's hot call (:mod:`repro.core.batch`).  Implementations may
+        override it with an allocation-free fast path; the default
+        delegates to :meth:`lookup`.
+        """
+        return [
+            (segment.lba if segment.is_hole else segment.pba, segment.length, segment.is_hole)
+            for segment in self.lookup(lba, length)
+        ]
 
     def fragment_count(self, lba: int, length: int) -> int:
         """Dynamic fragmentation of a read: number of mapped, discontiguous

@@ -13,7 +13,7 @@ the logical space — which is exactly the quantity the paper studies.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterator, List
+from typing import Iterator, List, Tuple
 
 from repro.extentmap.base import AddressMap, Segment
 from repro.extentmap.extent import Extent
@@ -102,6 +102,45 @@ class ExtentMap(AddressMap):
             self._append_segment(segments, Segment(cursor, None, end - cursor))
         return segments
 
+    def lookup_pieces(self, lba: int, length: int) -> List[Tuple[int, int, bool]]:
+        """Allocation-free override of :meth:`AddressMap.lookup_pieces`.
+
+        Emits ``(pba, length, is_hole)`` tuples directly from the extent
+        list — no :class:`Segment` construction — with the exact tiling
+        and merge behaviour of :meth:`lookup`.  Within one resolution the
+        pieces are always logically contiguous, so the :meth:`lookup`
+        merge rule reduces to: same kind, and (for mapped pieces)
+        physically contiguous; logically adjacent holes are identity-
+        placed and therefore always physically contiguous too.
+        """
+        if length <= 0:
+            raise ValueError(f"length must be > 0, got {length}")
+        end = lba + length
+        pieces: List[Tuple[int, int, bool]] = []
+        cursor = lba
+        idx = self._first_overlap_index(lba)
+        extents = self._extents
+        n = len(extents)
+        while cursor < end and idx < n:
+            ext = extents[idx]
+            ext_lba = ext.lba
+            if ext_lba >= end:
+                break
+            if ext_lba > cursor:
+                self._push_piece(pieces, cursor, ext_lba - cursor, True)
+                cursor = ext_lba
+            piece_end = ext_lba + ext.length
+            if piece_end > end:
+                piece_end = end
+            self._push_piece(
+                pieces, ext.pba + (cursor - ext_lba), piece_end - cursor, False
+            )
+            cursor = piece_end
+            idx += 1
+        if cursor < end:
+            self._push_piece(pieces, cursor, end - cursor, True)
+        return pieces
+
     def mapped_extent_count(self) -> int:
         return len(self._extents)
 
@@ -150,6 +189,19 @@ class ExtentMap(AddressMap):
             if extent.lba_end == nxt.lba and extent.pba_end == nxt.pba:
                 extent.length += nxt.length
                 self._delete_at(nxt_idx)
+
+    @staticmethod
+    def _push_piece(
+        pieces: List[Tuple[int, int, bool]], pba: int, length: int, hole: bool
+    ) -> None:
+        """Append a piece, merging with the previous one per the
+        :meth:`lookup` rule (same kind + physical contiguity)."""
+        if pieces:
+            last_pba, last_length, last_hole = pieces[-1]
+            if last_hole == hole and last_pba + last_length == pba:
+                pieces[-1] = (last_pba, last_length + length, hole)
+                return
+        pieces.append((pba, length, hole))
 
     @staticmethod
     def _append_segment(segments: List[Segment], segment: Segment) -> None:

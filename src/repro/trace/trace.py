@@ -27,6 +27,7 @@ class Trace:
         self._requests: List[IORequest] = list(requests)
         self._name = name
         self._max_end: Optional[int] = None
+        self._arrays = None
         #: Filled by the parsers in :mod:`repro.trace` with the
         #: :class:`~repro.trace.errors.ParseReport` of the parse that built
         #: this trace; None for synthetic or derived traces.
@@ -66,6 +67,28 @@ class Trace:
         if self._max_end is None:
             self._max_end = max((r.end for r in self._requests), default=0)
         return self._max_end
+
+    def as_arrays(self):
+        """Decompose into ``(is_read, lba, length)`` numpy arrays, cached.
+
+        The arrays are built once per trace and shared by every caller
+        (the NoLS batch kernel, the :mod:`repro.analysis.fast` paths), so
+        repeated vectorized analyses of one trace pay the Python→numpy
+        conversion only once.  Treat the returned arrays as read-only.
+        """
+        if self._arrays is None:
+            import numpy as np
+
+            n = len(self._requests)
+            is_read = np.empty(n, dtype=bool)
+            lba = np.empty(n, dtype=np.int64)
+            length = np.empty(n, dtype=np.int64)
+            for i, request in enumerate(self._requests):
+                is_read[i] = request.op is OpType.READ
+                lba[i] = request.lba
+                length[i] = request.length
+            self._arrays = (is_read, lba, length)
+        return self._arrays
 
     @property
     def read_count(self) -> int:

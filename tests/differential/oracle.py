@@ -1,0 +1,76 @@
+"""The differential oracle: batch kernel vs. reference replay, exactly.
+
+Every assertion here is *equality*, not tolerance: the batch kernels
+(:mod:`repro.core.batch`) claim to reproduce the auditable pure-Python
+replay bit for bit, and this helper is the single place that claim is
+checked — aggregate stats, the per-seek distance log (with directions),
+the final extent-map state, the write frontier and the head position.
+"""
+
+from __future__ import annotations
+
+from repro.core.batch import batch_replay
+from repro.core.config import TechniqueConfig, build_translator
+from repro.core.recorders import SeekLogRecorder
+from repro.core.simulator import Simulator
+from repro.core.translators import LogStructuredTranslator
+from repro.trace.trace import Trace
+
+
+def map_snapshot(translator) -> list:
+    """The extent map as comparable (lba, pba, length) tuples."""
+    return [(e.lba, e.pba, e.length) for e in translator.address_map]
+
+
+def assert_batch_matches_reference(trace: Trace, config: TechniqueConfig) -> None:
+    """Replay ``trace`` both ways under ``config`` and demand exactness."""
+    reference_translator = build_translator(trace, config)
+    recorder = SeekLogRecorder()
+    reference = Simulator(recorders=[recorder]).run(trace, reference_translator)
+
+    batch = batch_replay(trace, config)
+
+    label = f"{trace.name}/{config.name}"
+    assert batch.run_result.trace_name == reference.trace_name, label
+    assert batch.run_result.translator == reference.translator, label
+    assert batch.stats == reference.stats, (
+        f"{label}: stats diverge\nreference={reference.stats}\nbatch={batch.stats}"
+    )
+    assert list(batch.distances) == recorder.distances, (
+        f"{label}: seek-distance logs diverge"
+    )
+    assert list(batch.distance_is_read) == [r.is_read for r in recorder.records], (
+        f"{label}: seek directions diverge"
+    )
+    assert (
+        batch.translator.head.position == reference_translator.head.position
+    ), f"{label}: final head positions diverge"
+    if isinstance(reference_translator, LogStructuredTranslator):
+        assert map_snapshot(batch.translator) == map_snapshot(
+            reference_translator
+        ), f"{label}: final extent maps diverge"
+        assert (
+            batch.translator.frontier == reference_translator.frontier
+        ), f"{label}: final frontiers diverge"
+        # Technique-internal state must track too: it feeds later decisions.
+        for attribute in ("defrag", "prefetcher", "cache"):
+            ref_part = getattr(reference_translator, attribute)
+            batch_part = getattr(batch.translator, attribute)
+            assert (ref_part is None) == (batch_part is None), label
+        if reference_translator.cache is not None:
+            assert batch.translator.cache.hits == reference_translator.cache.hits
+            assert batch.translator.cache.misses == reference_translator.cache.misses
+            assert (
+                batch.translator.cache.used_bytes
+                == reference_translator.cache.used_bytes
+            )
+        if reference_translator.prefetcher is not None:
+            assert (
+                batch.translator.prefetcher.window_reads
+                == reference_translator.prefetcher.window_reads
+            )
+        if reference_translator.defrag is not None:
+            assert (
+                batch.translator.defrag.tracked_ranges
+                == reference_translator.defrag.tracked_ranges
+            )

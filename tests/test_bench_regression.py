@@ -1,0 +1,99 @@
+"""The benchmark regression gate itself (benchmarks/check_regression.py).
+
+The gate guards the batch kernels' speedup claim, so its comparison
+logic gets unit-tested here with synthetic reports — no timing involved.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _report(ls_reference=10.0, ls_batch=2.0, speedup=5.0, ops=1000):
+    return {
+        "schema": 1,
+        "ops": ops,
+        "results": {
+            "replay_ls": {
+                "reference": {"seconds": ls_reference},
+                "batch": {
+                    "seconds": ls_batch,
+                    "speedup_vs_reference": speedup,
+                },
+            }
+        },
+    }
+
+
+def _verdicts(current, baseline, tolerance=0.2, min_speedup=3.0):
+    return list(check_regression.check(current, baseline, tolerance, min_speedup))
+
+
+class TestCheck:
+    def test_identical_reports_pass(self):
+        verdicts = _verdicts(_report(), _report())
+        assert all(ok for ok, _ in verdicts)
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        verdicts = _verdicts(_report(ls_batch=2.5), _report(ls_batch=2.0))
+        failures = [message for ok, message in verdicts if not ok]
+        assert any("replay_ls.batch" in message for message in failures)
+
+    def test_slowdown_within_tolerance_passes(self):
+        verdicts = _verdicts(_report(ls_batch=2.3), _report(ls_batch=2.0))
+        assert all(ok for ok, _ in verdicts)
+
+    def test_speedup_below_floor_fails(self):
+        verdicts = _verdicts(_report(speedup=2.4), _report())
+        failures = [message for ok, message in verdicts if not ok]
+        assert any("speedup" in message for message in failures)
+
+    def test_mismatched_op_counts_refuse_to_compare(self):
+        verdicts = _verdicts(_report(ops=500), _report(ops=1000))
+        assert len(verdicts) == 1
+        ok, message = verdicts[0]
+        assert not ok
+        assert "not comparable" in message
+
+    def test_benchmarks_missing_from_baseline_are_ignored(self):
+        current = _report()
+        current["results"]["replay_new"] = {
+            "reference": {"seconds": 1.0},
+            "batch": {"seconds": 0.5, "speedup_vs_reference": 2.0},
+        }
+        verdicts = _verdicts(current, _report())
+        assert all(ok for ok, _ in verdicts)
+        assert not any("replay_new" in message for _, message in verdicts)
+
+
+class TestMain:
+    def test_exit_zero_on_pass_and_one_on_fail(self, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(_report()))
+
+        current.write_text(json.dumps(_report()))
+        assert (
+            check_regression.main([str(current), "--baseline", str(baseline)]) == 0
+        )
+        current.write_text(json.dumps(_report(speedup=1.0)))
+        assert (
+            check_regression.main([str(current), "--baseline", str(baseline)]) == 1
+        )
+        capsys.readouterr()
+
+    def test_missing_files_fail_cleanly(self, tmp_path, capsys):
+        assert check_regression.main([str(tmp_path / "nope.json")]) == 1
+        capsys.readouterr()
+
+    def test_baseline_file_is_checked_in_and_valid(self):
+        baseline_path = _SCRIPT.parent / "BENCH_baseline.json"
+        baseline = json.loads(baseline_path.read_text())
+        assert baseline["ops"] >= 1_000_000
+        speedup = baseline["results"]["replay_ls"]["batch"]["speedup_vs_reference"]
+        assert speedup >= 3.0

@@ -8,6 +8,7 @@ import doctest
 
 import pytest
 
+import repro.core.batch
 import repro.disk.head
 import repro.trace.record
 import repro.util.rngtools
@@ -20,6 +21,7 @@ MODULES = [
     repro.util.stats,
     repro.trace.record,
     repro.disk.head,
+    repro.core.batch,
 ]
 
 
