@@ -26,9 +26,20 @@ import sys
 import time
 from pathlib import Path
 
+from repro.analysis.distances import distance_cdf
+from repro.analysis.fast import (
+    distance_cdf_fast,
+    nols_seek_distances,
+    nols_windowed_long_seeks,
+)
+from repro.analysis.temporal import WindowedSeekRecorder
 from repro.core.batch import batch_replay
 from repro.core.config import LS, LS_ALL, NOLS, build_translator
+from repro.core.recorders import SeekLogRecorder
 from repro.core.simulator import replay
+from repro.trace.msr import parse_msr_file
+from repro.trace.store import TraceStore, load_trace
+from repro.trace.writers import write_msr_trace
 from repro.workloads import synthesize_workload
 
 DEFAULT_OPS = 1_000_000
@@ -75,6 +86,85 @@ def bench_replay_pair(trace, config, repeat: int) -> dict:
     }
 
 
+def _nols_analyses_reference(trace) -> None:
+    """The reference path for the Fig. 3/4 trace-level analyses: a full
+    per-request NoLS replay with recorders, then the plain-Python CDF."""
+    windowed = WindowedSeekRecorder()
+    seek_log = SeekLogRecorder()
+    replay(trace, build_translator(trace, NOLS), [windowed, seek_log])
+    windowed.series()
+    distance_cdf(seek_log.distances)
+
+
+def _nols_analyses_fast(trace) -> None:
+    """The vectorized equivalents (exact; see ``tests/differential/``)."""
+    nols_windowed_long_seeks(trace)
+    distance_cdf_fast(nols_seek_distances(trace))
+
+
+def _side(seconds: float, n: int, reference_s: float = None) -> dict:
+    entry = {"seconds": round(seconds, 4), "ops_per_s": round(n / seconds)}
+    if reference_s is not None:
+        entry["speedup_vs_reference"] = round(reference_s / seconds, 2)
+    return entry
+
+
+def bench_ingest(trace, repeat: int) -> dict:
+    """Cold and warm end-to-end ingest+analyze of an MSR-format dump.
+
+    *reference* parses with the per-line parser and runs the reference
+    analyses; *columnar* parses with the bulk parser and runs the
+    vectorized analyses; *warm_store* loads the compiled trace from a
+    primed :class:`TraceStore` instead of parsing.  All three produce the
+    identical analysis results — the differential suite enforces it — so
+    the ratios are pure performance.
+    """
+    import tempfile
+
+    n = len(trace)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = f"{tmp}/ingest.csv"
+        write_msr_trace(trace, path)
+
+        def reference():
+            parsed = parse_msr_file(path, engine="reference")
+            _nols_analyses_reference(parsed)
+
+        def columnar():
+            parsed = parse_msr_file(path)
+            _nols_analyses_fast(parsed)
+
+        store = TraceStore(f"{tmp}/store")
+        load_trace(path, "msr", store=store)  # prime the compiled store
+
+        def warm():
+            parsed = load_trace(path, "msr", store=store)
+            _nols_analyses_fast(parsed)
+
+        reference_s = _timed(reference, repeat)
+        columnar_s = _timed(columnar, repeat)
+        warm_s = _timed(warm, repeat)
+    return {
+        "ops": n,
+        "reference": _side(reference_s, n),
+        "columnar": _side(columnar_s, n, reference_s),
+        "warm_store": _side(warm_s, n, reference_s),
+    }
+
+
+def bench_analysis(trace, repeat: int) -> dict:
+    """Analysis kernels alone (trace already in memory): reference
+    recorder replay vs. the vectorized kernels."""
+    n = len(trace)
+    reference_s = _timed(lambda: _nols_analyses_reference(trace), repeat)
+    fast_s = _timed(lambda: _nols_analyses_fast(trace), repeat)
+    return {
+        "ops": n,
+        "reference": _side(reference_s, n),
+        "fast": _side(fast_s, n, reference_s),
+    }
+
+
 def bench_runner(scale: float = 0.05) -> dict:
     """Informational: serial vs. jobs=2 wall time over two real exhibits."""
     import contextlib
@@ -116,6 +206,8 @@ def run(n_ops: int, repeat: int, include_runner: bool) -> dict:
         "replay_ls": bench_replay_pair(read_heavy, LS, repeat),
         "replay_ls_all": bench_replay_pair(read_heavy, LS_ALL, repeat),
         "replay_ls_write_heavy": bench_replay_pair(write_heavy, LS, repeat),
+        "ingest_msr": bench_ingest(read_heavy, repeat),
+        "analysis_nols": bench_analysis(read_heavy, repeat),
     }
     report = {
         "schema": SCHEMA_VERSION,
@@ -145,11 +237,14 @@ def main(argv=None) -> int:
     out.write_text(json.dumps(report, indent=2) + "\n")
 
     for name, pair in report["results"].items():
-        print(
-            f"{name:22s} reference {pair['reference']['seconds']:8.2f}s   "
-            f"batch {pair['batch']['seconds']:8.2f}s   "
-            f"speedup {pair['batch']['speedup_vs_reference']:5.2f}x"
-        )
+        parts = [f"reference {pair['reference']['seconds']:8.2f}s"]
+        for side in ("batch", "columnar", "warm_store", "fast"):
+            if side in pair:
+                parts.append(
+                    f"{side} {pair[side]['seconds']:8.2f}s "
+                    f"({pair[side]['speedup_vs_reference']:.2f}x)"
+                )
+        print(f"{name:22s} " + "   ".join(parts))
     if "runner" in report:
         runner = report["runner"]
         print(

@@ -19,19 +19,30 @@ from pathlib import Path
 
 DEFAULT_TOLERANCE = 0.20
 DEFAULT_MIN_SPEEDUP = 3.0
+DEFAULT_MIN_INGEST_SPEEDUP = 3.0
+DEFAULT_MIN_WARM_SPEEDUP = 10.0
+
+_SIDES = ("reference", "batch", "columnar", "warm_store", "fast")
 
 
 def _flatten(results: dict) -> dict:
-    """``{benchmark: {reference|batch: {...}}}`` -> ``{path: seconds}``."""
+    """``{benchmark: {side: {...}}}`` -> ``{path: seconds}``."""
     flat = {}
     for name, pair in results.items():
-        for side in ("reference", "batch"):
+        for side in _SIDES:
             if side in pair:
                 flat[f"{name}.{side}"] = pair[side]["seconds"]
     return flat
 
 
-def check(current: dict, baseline: dict, tolerance: float, min_speedup: float):
+def check(
+    current: dict,
+    baseline: dict,
+    tolerance: float,
+    min_speedup: float,
+    min_ingest_speedup: float = DEFAULT_MIN_INGEST_SPEEDUP,
+    min_warm_speedup: float = DEFAULT_MIN_WARM_SPEEDUP,
+):
     """Yield ``(ok, message)`` per check, comparing like with like."""
     if current.get("ops") != baseline.get("ops"):
         yield False, (
@@ -58,6 +69,20 @@ def check(current: dict, baseline: dict, tolerance: float, min_speedup: float):
         f"(required >= {min_speedup:.1f}x)"
     )
 
+    # Ingestion gates apply only when the report carries the entries (older
+    # reports without the ingest benchmark still pass their own checks).
+    ingest = current.get("results", {}).get("ingest_msr", {})
+    for side, floor, label in (
+        ("columnar", min_ingest_speedup, "cold parse+analyze"),
+        ("warm_store", min_warm_speedup, "warm store"),
+    ):
+        if side in ingest:
+            speedup = ingest[side].get("speedup_vs_reference", 0.0)
+            yield speedup >= floor, (
+                f"ingest_msr {side} ({label}) speedup {speedup:.2f}x "
+                f"(required >= {floor:.1f}x)"
+            )
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -69,6 +94,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
     parser.add_argument("--min-speedup", type=float, default=DEFAULT_MIN_SPEEDUP)
+    parser.add_argument(
+        "--min-ingest-speedup", type=float, default=DEFAULT_MIN_INGEST_SPEEDUP
+    )
+    parser.add_argument(
+        "--min-warm-speedup", type=float, default=DEFAULT_MIN_WARM_SPEEDUP
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -84,7 +115,12 @@ def main(argv=None) -> int:
 
     failed = 0
     for ok, message in check(
-        current, baseline, args.tolerance, args.min_speedup
+        current,
+        baseline,
+        args.tolerance,
+        args.min_speedup,
+        min_ingest_speedup=args.min_ingest_speedup,
+        min_warm_speedup=args.min_warm_speedup,
     ):
         print(("ok   " if ok else "FAIL ") + message)
         failed += 0 if ok else 1

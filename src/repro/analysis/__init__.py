@@ -24,6 +24,18 @@ from repro.analysis.popularity import (
     FragmentPopularityRecorder,
     PopularityCurve,
 )
+from repro.analysis.fast import (
+    distance_cdf_fast,
+    fraction_within_fast,
+    fragment_cdf_fast,
+    fragment_concentration_fast,
+    fraction_of_fragments_in_top_reads_fast,
+    misorder_rate_fast,
+    nols_seek_counts,
+    nols_seek_distances,
+    nols_windowed_long_seeks,
+    popularity_curve_fast,
+)
 from repro.analysis.service import ServiceTimeEstimate, estimate_service_time
 from repro.analysis.classify import (
     LogSensitivity,
@@ -53,4 +65,15 @@ __all__ = [
     "classify_stats",
     "ServiceTimeEstimate",
     "estimate_service_time",
+    # Vectorized equivalents (exact; see tests/differential/)
+    "distance_cdf_fast",
+    "fraction_within_fast",
+    "fragment_cdf_fast",
+    "fragment_concentration_fast",
+    "fraction_of_fragments_in_top_reads_fast",
+    "misorder_rate_fast",
+    "nols_seek_counts",
+    "nols_seek_distances",
+    "nols_windowed_long_seeks",
+    "popularity_curve_fast",
 ]

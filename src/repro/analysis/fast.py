@@ -15,13 +15,12 @@ batch NoLS kernel at analysis level for symmetry.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.trace.record import OpType
 from repro.trace.trace import Trace
-from repro.util.units import kib_to_sectors
+from repro.util.units import SECTOR_BYTES, BYTES_PER_MIB, gib_to_sectors, kib_to_sectors
 
 
 def trace_arrays(trace: Trace) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -83,12 +82,13 @@ def misorder_rate_fast(trace: Trace, horizon_kib: float = 256.0) -> float:
     """
     if horizon_kib <= 0:
         raise ValueError(f"horizon_kib must be > 0, got {horizon_kib}")
-    writes = [r for r in trace if r.op is OpType.WRITE]
-    n = len(writes)
+    is_read, all_lba, all_length = trace_arrays(trace)
+    write_mask = ~is_read
+    lba = all_lba[write_mask]
+    length = all_length[write_mask]
+    n = int(lba.size)
     if n == 0:
         return 0.0
-    lba = np.fromiter((w.lba for w in writes), dtype=np.int64, count=n)
-    length = np.fromiter((w.length for w in writes), dtype=np.int64, count=n)
     ends = lba + length
     horizon = kib_to_sectors(horizon_kib)
     # volume[i] = sectors written by writes 0..i-1
@@ -103,3 +103,152 @@ def misorder_rate_fast(trace: Trace, horizon_kib: float = 256.0) -> float:
         if window.size and np.any(window == lba[i]):
             flagged += 1
     return flagged / n
+
+
+def _empirical_cdf_points(values: np.ndarray) -> List[Tuple[float, float]]:
+    """Vectorized :func:`repro.util.stats.empirical_cdf` over a numpy array.
+
+    Duplicates collapse via ``np.unique``; the cumulative fractions are
+    Python ``int / int`` divisions, bit-identical to the reference's
+    ``j / n``.
+    """
+    if values.size == 0:
+        return []
+    uniques, counts = np.unique(values, return_counts=True)
+    n = int(values.size)
+    return [
+        (float(value), cumulative / n)
+        for value, cumulative in zip(
+            uniques.tolist(), np.cumsum(counts).tolist()
+        )
+    ]
+
+
+def fragment_cdf_fast(read_fragments: Sequence[int]) -> List[Tuple[float, float]]:
+    """Vectorized Fig. 5 fragment-count CDF; agrees exactly with
+    :func:`repro.analysis.fragmentation.fragment_cdf`."""
+    fragments = np.asarray(read_fragments, dtype=np.int64)
+    return _empirical_cdf_points(fragments[fragments > 1])
+
+
+def fragment_concentration_fast(
+    read_fragments: Sequence[int],
+) -> List[Tuple[float, float]]:
+    """Vectorized Fig. 5 concentration curve; agrees exactly with
+    :func:`repro.analysis.fragmentation.fragment_concentration`."""
+    fragments = np.asarray(read_fragments, dtype=np.int64)
+    descending = np.sort(fragments[fragments > 1])[::-1]
+    n = int(descending.size)
+    if n == 0:
+        return []
+    cumulative = np.cumsum(descending).tolist()
+    total = cumulative[-1]
+    return [
+        (rank / n, running / total)
+        for rank, running in enumerate(cumulative, start=1)
+    ]
+
+
+def fraction_of_fragments_in_top_reads_fast(
+    read_fragments: Sequence[int],
+    top_fraction: float = 0.2,
+) -> float:
+    """Vectorized top-reads fragment share; agrees exactly with
+    :func:`repro.analysis.fragmentation.fraction_of_fragments_in_top_reads`."""
+    if not 0.0 < top_fraction <= 1.0:
+        raise ValueError(f"top_fraction must be in (0, 1], got {top_fraction}")
+    fragments = np.asarray(read_fragments, dtype=np.int64)
+    descending = np.sort(fragments[fragments > 1])[::-1]
+    n = int(descending.size)
+    if n == 0:
+        return 0.0
+    # The reference walks (rank/n, running/total) points until
+    # rank/n >= top_fraction; reproduce its float comparison verbatim.
+    ranks = np.arange(1, n + 1, dtype=np.int64) / n
+    index = int(np.searchsorted(ranks, top_fraction, side="left"))
+    cumulative = np.cumsum(descending)
+    total = int(cumulative[-1])
+    return int(cumulative[index]) / total
+
+
+def distance_cdf_fast(
+    distances: Sequence[int],
+    window_gib: float = 2.0,
+) -> List[Tuple[float, float]]:
+    """Vectorized Fig. 4 clipped distance CDF; agrees exactly with
+    :func:`repro.analysis.distances.distance_cdf`."""
+    if window_gib <= 0:
+        raise ValueError(f"window_gib must be > 0, got {window_gib}")
+    values = np.asarray(distances, dtype=np.int64)
+    limit = gib_to_sectors(window_gib)
+    return _empirical_cdf_points(values[(values >= -limit) & (values <= limit)])
+
+
+def fraction_within_fast(distances: Sequence[int], window_gib: float) -> float:
+    """Vectorized in-window distance fraction; agrees exactly with
+    :func:`repro.analysis.distances.fraction_within`."""
+    values = np.asarray(distances, dtype=np.int64)
+    n = int(values.size)
+    if n == 0:
+        return 0.0
+    if window_gib <= 0:
+        raise ValueError(f"window_gib must be > 0, got {window_gib}")
+    limit = gib_to_sectors(window_gib)
+    within = int(np.count_nonzero((values >= -limit) & (values <= limit)))
+    return within / n
+
+
+def nols_windowed_long_seeks(
+    trace: Trace,
+    window_ops: int = 1000,
+    min_seek_kib: float = 500.0,
+) -> List[int]:
+    """Per-window long-seek counts of the NoLS replay (Fig. 3 baseline side).
+
+    Vectorized equivalent of replaying through
+    :class:`~repro.core.translators.InPlaceTranslator` with a
+    :class:`~repro.analysis.temporal.WindowedSeekRecorder` and taking its
+    ``series()`` — exact-match tested by the differential suite.
+    """
+    if window_ops <= 0:
+        raise ValueError(f"window_ops must be > 0, got {window_ops}")
+    if min_seek_kib < 0:
+        raise ValueError(f"min_seek_kib must be >= 0, got {min_seek_kib}")
+    n = len(trace)
+    if n == 0:
+        return []
+    _, lba, length = trace_arrays(trace)
+    threshold = kib_to_sectors(min_seek_kib)
+    deltas = lba[1:] - (lba[:-1] + length[:-1])
+    long_seek = (deltas != 0) & (np.abs(deltas) >= threshold)
+    # Op i (1-based here; op 0 never seeks) falls in window i // window_ops;
+    # the recorder extends its series through the last op's window even
+    # when the tail windows are all zero.
+    windows = np.arange(1, n, dtype=np.int64) // window_ops
+    counts = np.bincount(
+        windows[long_seek], minlength=(n - 1) // window_ops + 1
+    )
+    return counts.tolist()
+
+
+def popularity_curve_fast(fragment_stats: Sequence[Tuple[int, int]]):
+    """Build the Fig. 10 :class:`~repro.analysis.popularity.PopularityCurve`
+    from ``(access_count, size_sectors)`` pairs, vectorized.
+
+    Agrees exactly with
+    :meth:`~repro.analysis.popularity.FragmentPopularityRecorder.curve`
+    (stable descending sort preserves the reference's tie ordering; the
+    MiB conversion is the same ``sectors * 512 / 2**20`` arithmetic).
+    """
+    from repro.analysis.popularity import PopularityCurve
+
+    if not len(fragment_stats):
+        return PopularityCurve(access_counts=[], cumulative_mib=[])
+    pairs = np.asarray(fragment_stats, dtype=np.int64).reshape(-1, 2)
+    order = np.argsort(-pairs[:, 0], kind="stable")
+    counts = pairs[order, 0]
+    sizes = pairs[order, 1]
+    cumulative_mib = np.cumsum(sizes) * SECTOR_BYTES / BYTES_PER_MIB
+    return PopularityCurve(
+        access_counts=counts.tolist(), cumulative_mib=cumulative_mib.tolist()
+    )

@@ -32,31 +32,54 @@ class PopularityCurve:
     access_counts: List[int]
     cumulative_mib: List[float]
 
+    def __post_init__(self) -> None:
+        # Precompute the cumulative access counts once: total_accesses and
+        # cache_mib_for_access_share are called repeatedly per exhibit
+        # (several share levels over the same curve), and re-summing a
+        # million-fragment list in Python each time dominated Fig. 10.
+        import numpy as np
+
+        cumulative = np.cumsum(
+            np.asarray(self.access_counts, dtype=np.int64)
+        )
+        cumulative.setflags(write=False)
+        object.__setattr__(self, "_cumulative_accesses", cumulative)
+
     @property
     def fragment_count(self) -> int:
         return len(self.access_counts)
 
     @property
     def total_accesses(self) -> int:
-        return sum(self.access_counts)
+        cumulative = self._cumulative_accesses
+        return int(cumulative[-1]) if len(cumulative) else 0
 
     def cache_mib_for_access_share(self, share: float) -> float:
         """RAM needed to hold the top fragments covering ``share`` of accesses.
 
         This is the paper's headline Fig. 10 question: how big a cache
-        captures e.g. 90 % of fragment accesses?
+        captures e.g. 90 % of fragment accesses?  A ``searchsorted`` over
+        the precomputed cumulative counts finds the rank in O(log n).
         """
+        import numpy as np
+
         if not 0.0 < share <= 1.0:
             raise ValueError(f"share must be in (0, 1], got {share}")
         total = self.total_accesses
         if total == 0:
             return 0.0
         target = share * total
-        running = 0
-        for count, mib in zip(self.access_counts, self.cumulative_mib):
-            running += count
-            if running >= target:
-                return mib
+        # First rank whose cumulative count reaches the target, confined to
+        # the ranks that carry a cache size (the lists are equal-length for
+        # every well-formed curve; min() mirrors the reference zip()).
+        limit = min(len(self.access_counts), len(self.cumulative_mib))
+        index = int(
+            np.searchsorted(
+                self._cumulative_accesses[:limit], target, side="left"
+            )
+        )
+        if index < limit:
+            return self.cumulative_mib[index]
         return self.cumulative_mib[-1] if self.cumulative_mib else 0.0
 
 
@@ -88,6 +111,18 @@ class FragmentPopularityRecorder:
     @property
     def distinct_fragments(self) -> int:
         return len(self._counts)
+
+    def fragment_stats(self) -> List[Tuple[int, int]]:
+        """``(access_count, size_sectors)`` per fragment, insertion order.
+
+        The raw material of :meth:`curve`, exposed so the vectorized
+        builder (:func:`repro.analysis.fast.popularity_curve_fast`) can
+        consume it; the iteration order is the tie-break order of the
+        reference sort.
+        """
+        return [
+            (count, self._sizes[pba]) for pba, count in self._counts.items()
+        ]
 
     def curve(self) -> PopularityCurve:
         """Build the Fig. 10 sorted-popularity curve."""

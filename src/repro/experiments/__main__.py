@@ -95,6 +95,14 @@ def main(argv=None) -> int:
         help="replay through the vectorized batch kernels (exact; replays "
         "needing recorders fall back to the reference path automatically)",
     )
+    parser.add_argument(
+        "--trace-store",
+        default=None,
+        metavar="DIR",
+        help="persistent compiled-trace store: workload traces are "
+        "compiled to .npz under DIR on first use and loaded back on "
+        "later runs (exact; delete DIR to clear)",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -126,6 +134,7 @@ def main(argv=None) -> int:
         resume=args.resume,
         jobs=args.jobs,
         fast=args.fast,
+        trace_store=args.trace_store,
     )
     failed = [o for o in outcomes if not o.ok]
     if args.keep_going or failed or len(outcomes) > 1:

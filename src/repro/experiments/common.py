@@ -17,6 +17,31 @@ from repro.workloads import synthesize_workload
 _TRACE_CACHE_MAX = 16
 _trace_cache: "OrderedDict[Tuple[str, int, float], Trace]" = OrderedDict()
 
+_trace_store = None
+
+
+def set_trace_store(root: Optional[str]) -> None:
+    """Process-wide compiled-trace store for :func:`workload_trace`.
+
+    Wired to the experiment CLI's ``--trace-store DIR`` flag (and forwarded
+    to each parallel worker).  With a store set, synthesized workload
+    traces are compiled to ``.npz`` on first use and loaded back on later
+    runs — the in-memory LRU stays in front, so the store only pays off
+    across processes/runs.  ``None`` disables.
+    """
+    global _trace_store
+    if root is None:
+        _trace_store = None
+        return
+    from repro.trace.store import TraceStore
+
+    _trace_store = root if isinstance(root, TraceStore) else TraceStore(root)
+
+
+def trace_store():
+    """The active :class:`~repro.trace.store.TraceStore`, or None."""
+    return _trace_store
+
 
 def workload_trace(name: str, seed: int, scale: float) -> Trace:
     """Memoized synthetic trace for a Table I workload.
@@ -25,13 +50,29 @@ def workload_trace(name: str, seed: int, scale: float) -> Trace:
     per (name, seed, scale) keeps a full ``all`` run fast and guarantees
     every exhibit sees the identical trace.  The cache is a small LRU
     (``_TRACE_CACHE_MAX`` entries) so a large-scale ``all`` run doesn't
-    accumulate every workload it ever touched in memory.
+    accumulate every workload it ever touched in memory.  When a compiled
+    store is active (:func:`set_trace_store`), misses consult it before
+    synthesizing and compile what they synthesize.
     """
     key = (name, seed, scale)
     if key in _trace_cache:
         _trace_cache.move_to_end(key)
         return _trace_cache[key]
-    trace = synthesize_workload(name, seed=seed, scale=scale)
+    trace = None
+    meta = None
+    if _trace_store is not None:
+        from repro.trace.store import synthetic_meta
+
+        meta = synthetic_meta(name, seed, scale)
+        trace = _trace_store.load(meta)
+        if trace is not None:
+            # Stored traces lose their name (keyed by meta); restore it so
+            # exhibits label results identically either way.
+            trace = trace if trace.name == name else trace.renamed(name)
+    if trace is None:
+        trace = synthesize_workload(name, seed=seed, scale=scale)
+        if _trace_store is not None:
+            _trace_store.store(trace, meta)
     _trace_cache[key] = trace
     while len(_trace_cache) > _TRACE_CACHE_MAX:
         _trace_cache.popitem(last=False)

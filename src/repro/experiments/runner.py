@@ -221,7 +221,10 @@ def _json_dump_valid(path: Path) -> bool:
 
 
 def _pool_worker(
-    task: Tuple[str, int, float, Optional[str], Optional[str], Optional[float], bool],
+    task: Tuple[
+        str, int, float, Optional[str], Optional[str], Optional[float], bool,
+        Optional[str],
+    ],
 ) -> Tuple[str, str, float, Optional[str], List[str], str]:
     """Run one exhibit inside a pool worker process.
 
@@ -229,7 +232,7 @@ def _pool_worker(
     Never raises: every failure mode is folded into the status so the
     parent keeps its single-writer control of the manifest.
     """
-    name, seed, scale, out_dir, svg_dir, timeout_s, fast = task
+    name, seed, scale, out_dir, svg_dir, timeout_s, fast, trace_store = task
     # Exhibits are pure functions of (name, seed, scale), but reseed the
     # process-global random state per exhibit anyway so any stray global
     # RNG use is deterministic per (seed, exhibit) rather than dependent
@@ -238,6 +241,7 @@ def _pool_worker(
     from repro.experiments import common
 
     common.set_fast_replay(fast)
+    common.set_trace_store(trace_store)
     captured = io.StringIO()
     svg_paths: List[str] = []
     start = time.time()
@@ -267,6 +271,7 @@ def _run_pending_parallel(
     timeout_s: Optional[float],
     jobs: int,
     fast: bool,
+    trace_store: Optional[str],
     echo: Callable[[str], None],
     mp_start_method: Optional[str],
 ) -> Dict[str, ExhibitOutcome]:
@@ -296,7 +301,7 @@ def _run_pending_parallel(
         futures = {
             pool.submit(
                 _pool_worker,
-                (name, seed, scale, out_dir, svg_dir, timeout_s, fast),
+                (name, seed, scale, out_dir, svg_dir, timeout_s, fast, trace_store),
             ): name
             for name in pending
         }
@@ -360,6 +365,7 @@ def run_exhibits(
     echo: Callable[[str], None] = print,
     jobs: int = 1,
     fast: bool = False,
+    trace_store: Optional[str] = None,
     mp_start_method: Optional[str] = None,
 ) -> List[ExhibitOutcome]:
     """Run ``names`` with isolation, checkpointing, resume and parallelism.
@@ -376,6 +382,10 @@ def run_exhibits(
             Exhibit JSON output is byte-identical either way.
         fast: Replay exhibits through the vectorized batch kernel
             (:mod:`repro.core.batch`; exact, so output is unchanged).
+        trace_store: Directory of a persistent compiled-trace store
+            (:mod:`repro.trace.store`); synthesized workload traces are
+            compiled there on first use and loaded back on later runs.
+            Exact, so output is unchanged; ``None`` disables.
         mp_start_method: multiprocessing start method for ``jobs > 1``
             (default ``"spawn"`` for hermetic workers; tests use
             ``"fork"`` to exercise failure injection).
@@ -415,7 +425,8 @@ def run_exhibits(
                 pending.append(name)
         results = _run_pending_parallel(
             pending, manifest, seed, scale, out_dir, svg_dir,
-            keep_going, timeout_s, jobs, fast, echo, mp_start_method,
+            keep_going, timeout_s, jobs, fast, trace_store, echo,
+            mp_start_method,
         )
         return [
             outcome
@@ -427,7 +438,10 @@ def run_exhibits(
     from repro.experiments import common
 
     previous_fast = common.fast_replay_default()
+    previous_store = common.trace_store()
     common.set_fast_replay(fast)
+    if trace_store is not None:
+        common.set_trace_store(trace_store)
     outcomes: List[ExhibitOutcome] = []
     try:
         for name in names:
@@ -476,6 +490,8 @@ def run_exhibits(
                     break
     finally:
         common.set_fast_replay(previous_fast)
+        if trace_store is not None:
+            common.set_trace_store(previous_store)
     return outcomes
 
 

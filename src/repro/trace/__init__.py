@@ -10,11 +10,21 @@ and sampling/windowing utilities.
 from repro.trace.record import IORequest, OpType
 from repro.trace.trace import Trace
 from repro.trace.errors import (
+    PARSE_ENGINES,
     PARSE_POLICIES,
     ParseIssue,
     ParseReport,
     TraceParseError,
 )
+from repro.trace.columnar import (
+    COLUMNAR_PARSER_VERSION,
+    ColumnarTrace,
+    TraceColumns,
+    parse_cloudphysics_text,
+    parse_csv_text,
+    parse_msr_text,
+)
+from repro.trace.store import TraceStore, file_meta, load_trace, synthetic_meta
 from repro.trace.stats import TraceStats, compute_stats
 from repro.trace.csvio import read_csv_trace, write_csv_trace
 from repro.trace.msr import parse_msr_file, parse_msr_lines
@@ -33,6 +43,17 @@ __all__ = [
     "IORequest",
     "OpType",
     "Trace",
+    "COLUMNAR_PARSER_VERSION",
+    "ColumnarTrace",
+    "TraceColumns",
+    "TraceStore",
+    "parse_msr_text",
+    "parse_cloudphysics_text",
+    "parse_csv_text",
+    "file_meta",
+    "synthetic_meta",
+    "load_trace",
+    "PARSE_ENGINES",
     "PARSE_POLICIES",
     "ParseIssue",
     "ParseReport",

@@ -20,9 +20,10 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
-from repro.trace.errors import ParseReport, check_geometry, make_report
+from repro.trace.errors import PARSE_ENGINES, ParseReport, check_geometry, make_report
 from repro.trace.record import IORequest, OpType
 from repro.trace.trace import Trace
+from repro.util.validation import check_choice
 
 
 def parse_cloudphysics_lines(
@@ -95,9 +96,28 @@ def parse_cloudphysics_file(
     policy: str = "strict",
     capacity_sectors: Optional[int] = None,
     report: Optional[ParseReport] = None,
+    engine: str = "columnar",
 ) -> Trace:
-    """Parse a CloudPhysics-style trace file."""
+    """Parse a CloudPhysics-style trace file.
+
+    ``engine="columnar"`` (default) bulk parses via
+    :mod:`repro.trace.columnar` — exactly equivalent to the per-line
+    parser, to which it falls back on any input it cannot reproduce
+    bit-for-bit; ``engine="reference"`` forces the per-line parser.
+    """
+    check_choice("engine", engine, PARSE_ENGINES)
     path = Path(path)
+    if engine == "columnar":
+        from repro.trace.columnar import parse_cloudphysics_text
+
+        return parse_cloudphysics_text(
+            path.read_text(),
+            name=path.stem,
+            max_ops=max_ops,
+            policy=policy,
+            capacity_sectors=capacity_sectors,
+            report=report,
+        )
     with path.open() as handle:
         return parse_cloudphysics_lines(
             handle,

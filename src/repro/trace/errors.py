@@ -30,6 +30,11 @@ from repro.util.validation import check_choice
 PARSE_POLICIES = ("strict", "lenient", "quarantine")
 """Valid values for the parsers' ``policy`` argument."""
 
+PARSE_ENGINES = ("columnar", "reference")
+"""Valid values for the file parsers' ``engine`` argument: ``columnar``
+bulk parses via :mod:`repro.trace.columnar` (exactly equivalent, with
+wholesale fallback), ``reference`` forces the per-line parsers."""
+
 _MAX_RAW_LINE = 200  # sample/quarantine storage truncates huge raw lines
 
 

@@ -27,10 +27,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
-from repro.trace.errors import ParseReport, check_geometry, make_report
+from repro.trace.errors import PARSE_ENGINES, ParseReport, check_geometry, make_report
 from repro.trace.record import IORequest, OpType
 from repro.trace.trace import Trace
 from repro.util.units import SECTOR_BYTES, bytes_to_sectors
+from repro.util.validation import check_choice
 
 _TICKS_PER_SECOND = 10_000_000  # Windows FILETIME resolution: 100 ns
 
@@ -123,9 +124,29 @@ def parse_msr_file(
     policy: str = "strict",
     capacity_sectors: Optional[int] = None,
     report: Optional[ParseReport] = None,
+    engine: str = "columnar",
 ) -> Trace:
-    """Parse an MSR trace file (e.g. ``src2_2.csv``)."""
+    """Parse an MSR trace file (e.g. ``src2_2.csv``).
+
+    ``engine="columnar"`` (default) bulk parses via
+    :mod:`repro.trace.columnar` — exactly equivalent to the per-line
+    parser, to which it falls back on any input it cannot reproduce
+    bit-for-bit; ``engine="reference"`` forces the per-line parser.
+    """
+    check_choice("engine", engine, PARSE_ENGINES)
     path = Path(path)
+    if engine == "columnar":
+        from repro.trace.columnar import parse_msr_text
+
+        return parse_msr_text(
+            path.read_text(),
+            name=path.stem,
+            disk_number=disk_number,
+            max_ops=max_ops,
+            policy=policy,
+            capacity_sectors=capacity_sectors,
+            report=report,
+        )
     with path.open() as handle:
         return parse_msr_lines(
             handle,

@@ -1,0 +1,308 @@
+"""Persistent compiled-trace store.
+
+Parsing a multi-million-op trace dump — even through the columnar bulk
+parsers (:mod:`repro.trace.columnar`) — still costs a full text scan per
+run.  Experiments re-read the same traces constantly (every exhibit,
+every seed, every ``--fast``/reference comparison), so this module caches
+the *parsed columns* on disk: one ``.npz`` per (source, parse options)
+combination holding the four column arrays plus a JSON header with
+everything needed for correct invalidation.
+
+Store layout::
+
+    <root>/<sha256-of-meta>.npz
+        timestamp  float64[n]      is_read  bool[n]
+        lba        int64[n]        length   int64[n]
+        header     uint8[...]      (UTF-8 JSON: schema, meta, name, report)
+
+The file name is the SHA-256 of the canonical JSON of the entry's **meta**
+— the complete identity of a parse: trace kind, format, parse policy and
+arguments, ``COLUMNAR_PARSER_VERSION``, and (for file sources) the SHA-256
+and size of the source bytes.  Any change to the source file, the parse
+policy/arguments, or the parser itself therefore lands on a *different*
+key, so stale entries can never be served; they simply linger until
+:meth:`TraceStore.clear`.
+
+Entries round-trip exactly: the column arrays are the parse output
+verbatim, and the full :class:`~repro.trace.errors.ParseReport` (counters,
+error samples, quarantine) is restored on load.  ``strict``-failing inputs
+never reach the store (the parse raises first).
+
+Writes are crash-safe (temp file + ``os.replace``, the
+:mod:`repro.util.io` pattern); a torn or corrupt entry is treated as a
+miss and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+import repro
+from repro.trace.columnar import COLUMNAR_PARSER_VERSION, ColumnarTrace, TraceColumns
+from repro.trace.errors import ParseIssue, ParseReport
+from repro.trace.trace import Trace
+
+STORE_SCHEMA = 1
+
+#: Default store location (overridable per :class:`TraceStore` instance and
+#: via the runner's ``--trace-store`` flag).
+DEFAULT_STORE_DIR = Path(".repro-trace-store")
+
+_COLUMN_KEYS = ("timestamp", "is_read", "lba", "length")
+
+
+# --------------------------------------------------------------------- #
+# Meta builders — the identity of a parse
+# --------------------------------------------------------------------- #
+
+
+def hash_file(path: Union[str, Path]) -> dict:
+    """SHA-256 + size of a source file (the invalidation anchor)."""
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+            size += len(chunk)
+    return {"sha256": digest.hexdigest(), "bytes": size}
+
+
+def file_meta(
+    path: Union[str, Path],
+    fmt: str,
+    policy: str = "strict",
+    **parse_args,
+) -> dict:
+    """Meta for a parsed trace file.
+
+    ``fmt`` is the parser family (``"msr"`` | ``"cloudphysics"`` |
+    ``"csv"``); ``parse_args`` are the remaining parse options
+    (``disk_number``, ``max_ops``, ``capacity_sectors``, ...).  The source
+    file is hashed here, so building the meta costs one read of the file —
+    still far cheaper than parsing it.
+    """
+    return {
+        "kind": "file",
+        "format": fmt,
+        "policy": policy,
+        "args": {k: parse_args[k] for k in sorted(parse_args)},
+        "parser_version": COLUMNAR_PARSER_VERSION,
+        "source": hash_file(path),
+        "name": Path(path).stem,
+    }
+
+
+def synthetic_meta(name: str, seed: int, scale: float) -> dict:
+    """Meta for a synthesized Table I workload.
+
+    Keyed on the generator inputs plus the library version — synthesis is
+    deterministic given (name, seed, scale), and a release may legitimately
+    change the generator, so the version stands in for a "generator hash".
+    """
+    return {
+        "kind": "synthetic",
+        "name": name,
+        "seed": seed,
+        "scale": scale,
+        "version": repro.__version__,
+    }
+
+
+def meta_key(meta: dict) -> str:
+    """The store key: SHA-256 of the canonical JSON encoding of ``meta``."""
+    canonical = json.dumps(meta, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# ParseReport (de)serialization
+# --------------------------------------------------------------------- #
+
+
+def _issue_to_dict(issue: ParseIssue) -> dict:
+    return {"line_no": issue.line_no, "reason": issue.reason, "line": issue.line}
+
+
+def _issue_from_dict(data: dict) -> ParseIssue:
+    return ParseIssue(
+        line_no=data["line_no"], reason=data["reason"], line=data["line"]
+    )
+
+
+def report_to_dict(report: Optional[ParseReport]) -> Optional[dict]:
+    """Full (lossless) encoding — unlike ``ParseReport.summary()``."""
+    if report is None:
+        return None
+    return {
+        "name": report.name,
+        "policy": report.policy,
+        "records": report.records,
+        "accepted": report.accepted,
+        "skipped": report.skipped,
+        "quarantined": report.quarantined,
+        "filtered": report.filtered,
+        "errors": [_issue_to_dict(i) for i in report.errors],
+        "quarantine": [_issue_to_dict(i) for i in report.quarantine],
+        "max_error_samples": report.max_error_samples,
+    }
+
+
+def report_from_dict(data: Optional[dict]) -> Optional[ParseReport]:
+    if data is None:
+        return None
+    return ParseReport(
+        name=data["name"],
+        policy=data["policy"],
+        records=data["records"],
+        accepted=data["accepted"],
+        skipped=data["skipped"],
+        quarantined=data["quarantined"],
+        filtered=data["filtered"],
+        errors=[_issue_from_dict(i) for i in data["errors"]],
+        quarantine=[_issue_from_dict(i) for i in data["quarantine"]],
+        max_error_samples=data["max_error_samples"],
+    )
+
+
+# --------------------------------------------------------------------- #
+# The store
+# --------------------------------------------------------------------- #
+
+
+class TraceStore:
+    """A directory of compiled (pre-parsed) traces, keyed by parse meta.
+
+    Thread/process-safe for concurrent readers and writers of *different*
+    entries; concurrent writers of the *same* entry are benign (last
+    ``os.replace`` wins with identical content).
+    """
+
+    def __init__(self, root: Union[str, Path] = DEFAULT_STORE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, meta: dict) -> Path:
+        return self.root / f"{meta_key(meta)}.npz"
+
+    def load(self, meta: dict) -> Optional[Trace]:
+        """Return the compiled trace for ``meta``, or None on a miss.
+
+        A corrupt/torn entry (interrupted write, foreign file) counts as a
+        miss and is removed so the caller's re-store can heal it.
+        """
+        path = self.path_for(meta)
+        try:
+            with np.load(path) as archive:
+                header = json.loads(bytes(archive["header"]).decode())
+                if header.get("schema") != STORE_SCHEMA or header.get("meta") != meta:
+                    raise ValueError("store entry header mismatch")
+                columns = TraceColumns(*(archive[k] for k in _COLUMN_KEYS))
+        except FileNotFoundError:
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            return None
+        trace = ColumnarTrace(columns, name=header["name"])
+        trace.parse_report = report_from_dict(header["report"])
+        return trace
+
+    def store(self, trace: Trace, meta: dict) -> Path:
+        """Compile ``trace`` into the store under ``meta``; returns the path."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        columns = TraceColumns.from_trace(trace)
+        header = {
+            "schema": STORE_SCHEMA,
+            "meta": meta,
+            "name": trace.name,
+            "report": report_to_dict(trace.parse_report),
+        }
+        header_bytes = np.frombuffer(
+            json.dumps(header, sort_keys=True).encode(), dtype=np.uint8
+        )
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            header=header_bytes,
+            **{k: getattr(columns, k) for k in _COLUMN_KEYS},
+        )
+        path = self.path_for(meta)
+        tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(buffer.getvalue())
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def entries(self):
+        """The store's entry paths (empty if the directory doesn't exist)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.npz"))
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# --------------------------------------------------------------------- #
+# Convenience: parse-through-store
+# --------------------------------------------------------------------- #
+
+_FORMATS = ("msr", "cloudphysics", "csv")
+
+
+def load_trace(
+    path: Union[str, Path],
+    fmt: str,
+    store: Optional[TraceStore] = None,
+    policy: str = "strict",
+    **parse_args,
+) -> Trace:
+    """Parse a trace file through the compiled-trace store.
+
+    On a store hit the source file is hashed but not parsed; on a miss it
+    is parsed (columnar engine) and the result is compiled into the store
+    for next time.  With ``store=None`` this is just a parse.
+    """
+    if fmt not in _FORMATS:
+        raise ValueError(f"fmt must be one of {_FORMATS}, got {fmt!r}")
+    if store is None:
+        return _parse(path, fmt, policy, parse_args)
+    meta = file_meta(path, fmt, policy=policy, **parse_args)
+    cached = store.load(meta)
+    if cached is not None:
+        return cached
+    trace = _parse(path, fmt, policy, parse_args)
+    store.store(trace, meta)
+    return trace
+
+
+def _parse(path, fmt: str, policy: str, parse_args: dict) -> Trace:
+    if fmt == "msr":
+        from repro.trace.msr import parse_msr_file
+
+        return parse_msr_file(path, policy=policy, **parse_args)
+    if fmt == "cloudphysics":
+        from repro.trace.cloudphysics import parse_cloudphysics_file
+
+        return parse_cloudphysics_file(path, policy=policy, **parse_args)
+    from repro.trace.csvio import read_csv_trace
+
+    return read_csv_trace(path, policy=policy, **parse_args)

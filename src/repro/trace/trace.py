@@ -28,6 +28,8 @@ class Trace:
         self._name = name
         self._max_end: Optional[int] = None
         self._arrays = None
+        self._timestamps = None
+        self._read_count: Optional[int] = None
         #: Filled by the parsers in :mod:`repro.trace` with the
         #: :class:`~repro.trace.errors.ParseReport` of the parse that built
         #: this trace; None for synthetic or derived traces.
@@ -65,7 +67,11 @@ class Trace:
         PBA = LBA below it.
         """
         if self._max_end is None:
-            self._max_end = max((r.end for r in self._requests), default=0)
+            if self._arrays is not None:
+                _, lba, length = self._arrays
+                self._max_end = int((lba + length).max()) if len(lba) else 0
+            else:
+                self._max_end = max((r.end for r in self._requests), default=0)
         return self._max_end
 
     def as_arrays(self):
@@ -74,29 +80,60 @@ class Trace:
         The arrays are built once per trace and shared by every caller
         (the NoLS batch kernel, the :mod:`repro.analysis.fast` paths), so
         repeated vectorized analyses of one trace pay the Python→numpy
-        conversion only once.  Treat the returned arrays as read-only.
+        conversion only once.  The returned arrays are **read-only**
+        (``writeable=False``) — they are shared between callers, so a
+        mutation would silently corrupt every later analysis.  Copy first
+        if you need scratch space.
         """
         if self._arrays is None:
             import numpy as np
 
             n = len(self._requests)
-            is_read = np.empty(n, dtype=bool)
-            lba = np.empty(n, dtype=np.int64)
-            length = np.empty(n, dtype=np.int64)
-            for i, request in enumerate(self._requests):
-                is_read[i] = request.op is OpType.READ
-                lba[i] = request.lba
-                length[i] = request.length
-            self._arrays = (is_read, lba, length)
+            packed = np.fromiter(
+                (
+                    (r.op is OpType.READ, r.lba, r.length)
+                    for r in self._requests
+                ),
+                dtype=[("is_read", "?"), ("lba", "<i8"), ("length", "<i8")],
+                count=n,
+            )
+            columns = tuple(
+                np.ascontiguousarray(packed[field])
+                for field in ("is_read", "lba", "length")
+            )
+            for column in columns:
+                column.setflags(write=False)
+            self._arrays = columns
         return self._arrays
+
+    def timestamps(self):
+        """The per-request timestamp column as a read-only float64 array."""
+        if self._timestamps is None:
+            import numpy as np
+
+            stamps = np.fromiter(
+                (r.timestamp for r in self._requests),
+                dtype=np.float64,
+                count=len(self._requests),
+            )
+            stamps.setflags(write=False)
+            self._timestamps = stamps
+        return self._timestamps
 
     @property
     def read_count(self) -> int:
-        return sum(1 for r in self._requests if r.is_read)
+        if self._read_count is None:
+            if self._arrays is not None:
+                import numpy as np
+
+                self._read_count = int(np.count_nonzero(self._arrays[0]))
+            else:
+                self._read_count = sum(1 for r in self._requests if r.is_read)
+        return self._read_count
 
     @property
     def write_count(self) -> int:
-        return sum(1 for r in self._requests if r.is_write)
+        return len(self) - self.read_count
 
     def filter(self, op: OpType) -> "Trace":
         """Return a new trace containing only requests of direction ``op``."""

@@ -1,0 +1,285 @@
+"""Differential oracle: the columnar bulk parsers vs. the per-line reference.
+
+Same contract as ``test_batch_vs_reference``: the bulk parsers in
+:mod:`repro.trace.columnar` are only allowed to exist because they are
+*exactly* equivalent to the per-line parsers — same requests (timestamps
+included), same :class:`ParseReport` accounting down to the error samples
+and quarantined raw lines, same ``strict`` exceptions.  These tests
+enforce that on
+
+* generated Table I workloads round-tripped through every format writer,
+* the parse options (``max_ops``, ``disk_number``, ``capacity_sectors``),
+* dirty inputs under every error policy, and
+* hypothesis-generated line soup that hits the wholesale-fallback path.
+"""
+
+from __future__ import annotations
+
+import io
+import csv
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.cloudphysics import parse_cloudphysics_file, parse_cloudphysics_lines
+from repro.trace.columnar import (
+    ColumnarTrace,
+    parse_cloudphysics_text,
+    parse_csv_text,
+    parse_msr_text,
+)
+from repro.trace.csvio import read_csv_rows, read_csv_trace, write_csv_trace
+from repro.trace.errors import TraceParseError, make_report
+from repro.trace.msr import parse_msr_file, parse_msr_lines
+from repro.trace.writers import write_cloudphysics_trace, write_msr_trace
+from repro.workloads import synthesize_workload
+
+WORKLOADS = ("usr_0", "hm_1", "w84")
+SCALE = 0.02
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {name: synthesize_workload(name, seed=42, scale=SCALE) for name in WORKLOADS}
+
+
+def _report_tuple(report):
+    issues = lambda lst: [(i.line_no, i.reason, i.line) for i in lst]
+    return (
+        report.name,
+        report.policy,
+        report.records,
+        report.accepted,
+        report.skipped,
+        report.quarantined,
+        report.filtered,
+        issues(report.errors),
+        issues(report.quarantine),
+    )
+
+
+def assert_parses_match(columnar, reference):
+    assert list(columnar) == list(reference)
+    assert columnar.name == reference.name
+    assert _report_tuple(columnar.parse_report) == _report_tuple(
+        reference.parse_report
+    )
+    assert columnar.parse_report.balanced
+
+
+def _csv_reference(text, name="trace", policy="strict", capacity_sectors=None):
+    return read_csv_rows(
+        csv.reader(io.StringIO(text)),
+        trace_name=name,
+        policy=policy,
+        capacity_sectors=capacity_sectors,
+        report=make_report(None, name, policy),
+    )
+
+
+# --- Table I workloads through every format writer -----------------------
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_msr_file_round_trip(traces, workload, tmp_path):
+    path = tmp_path / f"{workload}.csv"
+    write_msr_trace(traces[workload], path)
+    columnar = parse_msr_file(path)
+    reference = parse_msr_file(path, engine="reference")
+    assert isinstance(columnar, ColumnarTrace)
+    assert not columnar.materialized  # parse itself is lazy
+    assert_parses_match(columnar, reference)
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_cloudphysics_file_round_trip(traces, workload, tmp_path):
+    path = tmp_path / f"{workload}.csv"
+    write_cloudphysics_trace(traces[workload], path)
+    assert_parses_match(
+        parse_cloudphysics_file(path),
+        parse_cloudphysics_file(path, engine="reference"),
+    )
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_native_csv_file_round_trip(traces, workload, tmp_path):
+    path = tmp_path / f"{workload}.csv"
+    write_csv_trace(traces[workload], path)
+    assert_parses_match(
+        read_csv_trace(path), read_csv_trace(path, engine="reference")
+    )
+
+
+def test_invalid_engine_rejected(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("0.0,read,0,8\n")
+    with pytest.raises(ValueError, match="engine"):
+        read_csv_trace(path, engine="turbo")
+
+
+# --- parse options -------------------------------------------------------
+
+MSR_CLEAN = "\n".join(
+    f"{128166372003061629 + i * 10_000},hm,{i % 3},"
+    f"{'Read' if i % 3 else 'Write'},{(i * 7 % 5000) * 512},{(1 + i % 64) * 512},42"
+    for i in range(500)
+)
+
+
+@pytest.mark.parametrize("max_ops", [None, 0, 1, 7, 250, 9999])
+@pytest.mark.parametrize("disk_number", [None, 0, 2, 99])
+def test_msr_options_match(max_ops, disk_number):
+    kwargs = dict(max_ops=max_ops, disk_number=disk_number)
+    assert_parses_match(
+        parse_msr_text(MSR_CLEAN, name="m", **kwargs),
+        parse_msr_lines(MSR_CLEAN.split("\n"), name="m", **kwargs),
+    )
+
+
+@pytest.mark.parametrize("capacity_sectors", [None, 10_000, 100_000_000])
+def test_capacity_filter_matches(capacity_sectors):
+    assert_parses_match(
+        parse_msr_text(MSR_CLEAN, name="m", policy="lenient",
+                       capacity_sectors=capacity_sectors),
+        parse_msr_lines(MSR_CLEAN.split("\n"), name="m", policy="lenient",
+                        capacity_sectors=capacity_sectors),
+    )
+
+
+# --- dirty inputs under every policy -------------------------------------
+
+MSR_DIRTY = MSR_CLEAN + (
+    "\ngarbage line\n"
+    "128166372003061629,hm,1,Read,512,0,9\n"  # zero size
+    "bad,hm,1,Read,512,512,9\n"  # non-numeric ticks
+    "128166372003061629,hm,1,Peek,512,512,9\n"  # unknown op
+    "1,hm,1,Read,512\n"  # too few fields
+)
+
+CP_DIRTY = (
+    "timestamp_us,op,lba,length\n"
+    "100,r,0,8\n"
+    "1.5,x,3,4\n"  # unknown op
+    "200,w, 16 ,8\n"  # whitespace the reference strips
+    "2,r,nine,4\n"  # non-numeric lba
+    "3,r,5,0\n"  # zero length
+    "300,r,24,8\n"
+)
+
+CSV_DIRTY = (
+    "timestamp,op,lba,length\n"
+    "0.1,read,0,8\n"
+    "zz,read,1,1\n"  # bad timestamp
+    "0.5,read,-5,1\n"  # negative lba
+    "#comment,x\n"
+    "0.6,read,2,\n"  # empty length
+    "0.7,write,16,8\n"
+)
+
+
+@pytest.mark.parametrize("policy", ["lenient", "quarantine"])
+def test_dirty_msr_matches(policy):
+    assert_parses_match(
+        parse_msr_text(MSR_DIRTY, name="m", policy=policy),
+        parse_msr_lines(MSR_DIRTY.split("\n"), name="m", policy=policy),
+    )
+
+
+@pytest.mark.parametrize("policy", ["lenient", "quarantine"])
+def test_dirty_cloudphysics_matches(policy):
+    assert_parses_match(
+        parse_cloudphysics_text(CP_DIRTY, name="c", policy=policy),
+        parse_cloudphysics_lines(CP_DIRTY.split("\n"), name="c", policy=policy),
+    )
+
+
+@pytest.mark.parametrize("policy", ["lenient", "quarantine"])
+def test_dirty_csv_matches(policy):
+    assert_parses_match(
+        parse_csv_text(CSV_DIRTY, name="c", policy=policy),
+        _csv_reference(CSV_DIRTY, name="c", policy=policy),
+    )
+
+
+def test_strict_errors_identical():
+    with pytest.raises(TraceParseError) as columnar_exc:
+        parse_msr_text(MSR_DIRTY, name="m", policy="strict")
+    with pytest.raises(TraceParseError) as reference_exc:
+        parse_msr_lines(MSR_DIRTY.split("\n"), name="m", policy="strict")
+    assert str(columnar_exc.value) == str(reference_exc.value)
+    assert columnar_exc.value.line_no == reference_exc.value.line_no
+    assert columnar_exc.value.line == reference_exc.value.line
+
+
+# --- fallback-trigger edge cases -----------------------------------------
+
+EDGE_TEXTS = [
+    "",  # empty input
+    "timestamp_us,op,lba,length\n",  # header only
+    "1,r,2,3\n2,w,4,5,6\n",  # ragged: extra field
+    "1,r,2,3,9\n2,w,4,5\n",  # ragged: missing field
+    "1_000,r,2,3\n",  # Python-only int spelling
+    "1,r,1_0,3\n",
+    "9223372036854775808,r,2,3\n",  # int64 overflow
+    "1,READ      junk,2,3\n",  # token with interior whitespace
+    "1," + "r" + " " * 20 + ",2,3\n",  # wider than the fast path's op field
+    "۱,r,2,3\n",  # non-ASCII digits (Python-only int spelling)
+]
+
+
+@pytest.mark.parametrize("text", EDGE_TEXTS)
+def test_cloudphysics_edge_texts_match(text):
+    assert_parses_match(
+        parse_cloudphysics_text(text, name="c", policy="lenient"),
+        parse_cloudphysics_lines(text.split("\n"), name="c", policy="lenient"),
+    )
+
+
+CSV_EDGE_TEXTS = [
+    '0.1,"read",2,3\n',  # quoting: csv.reader semantics
+    "0.1,read,2,3\r\n0.2,write,4,5\n",  # carriage returns
+    "   \n0.1,read,2,3\n",  # whitespace-only line is a (bad) record
+    "0.1,read,2,3",  # no trailing newline
+]
+
+
+@pytest.mark.parametrize("text", CSV_EDGE_TEXTS)
+def test_csv_edge_texts_match(text):
+    assert_parses_match(
+        parse_csv_text(text, name="c", policy="lenient"),
+        _csv_reference(text, name="c", policy="lenient"),
+    )
+
+
+# --- hypothesis line soup ------------------------------------------------
+
+_soup_line = st.text(
+    alphabet="0123456789,rwRW.#eE+- _\t",
+    max_size=30,
+)
+_clean_line = st.tuples(
+    st.integers(0, 10**6),
+    st.sampled_from(["r", "w", "Read", "write", "0", "1"]),
+    st.integers(0, 10**9),
+    st.integers(1, 10**4),
+).map(lambda t: f"{t[0]},{t[1]},{t[2]},{t[3]}")
+_texts = st.lists(st.one_of(_clean_line, _soup_line), max_size=25).map("\n".join)
+
+
+@given(text=_texts)
+@settings(max_examples=200, deadline=None)
+def test_cloudphysics_soup_matches(text):
+    assert_parses_match(
+        parse_cloudphysics_text(text, name="s", policy="lenient"),
+        parse_cloudphysics_lines(text.split("\n"), name="s", policy="lenient"),
+    )
+
+
+@given(text=_texts, policy=st.sampled_from(["lenient", "quarantine"]))
+@settings(max_examples=200, deadline=None)
+def test_csv_soup_matches(text, policy):
+    assert_parses_match(
+        parse_csv_text(text, name="s", policy=policy),
+        _csv_reference(text, name="s", policy=policy),
+    )

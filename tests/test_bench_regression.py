@@ -30,6 +30,23 @@ def _report(ls_reference=10.0, ls_batch=2.0, speedup=5.0, ops=1000):
     }
 
 
+def _ingest_report(cold_speedup=5.0, warm_speedup=40.0, **kwargs):
+    report = _report(**kwargs)
+    report["results"]["ingest_msr"] = {
+        "ops": 1000,
+        "reference": {"seconds": 10.0},
+        "columnar": {
+            "seconds": round(10.0 / cold_speedup, 4),
+            "speedup_vs_reference": cold_speedup,
+        },
+        "warm_store": {
+            "seconds": round(10.0 / warm_speedup, 4),
+            "speedup_vs_reference": warm_speedup,
+        },
+    }
+    return report
+
+
 def _verdicts(current, baseline, tolerance=0.2, min_speedup=3.0):
     return list(check_regression.check(current, baseline, tolerance, min_speedup))
 
@@ -71,6 +88,50 @@ class TestCheck:
         assert not any("replay_new" in message for _, message in verdicts)
 
 
+class TestIngestGates:
+    """The ingest gates only engage when the report carries the entries,
+    so pre-ingest reports (and their baselines) keep passing unchanged."""
+
+    def test_report_without_ingest_emits_no_ingest_gate(self):
+        verdicts = _verdicts(_report(), _report())
+        assert not any("ingest_msr" in message for _, message in verdicts)
+
+    def test_healthy_ingest_passes(self):
+        verdicts = _verdicts(_ingest_report(), _ingest_report())
+        assert all(ok for ok, _ in verdicts)
+        assert sum("ingest_msr" in m for _, m in verdicts) >= 4  # 2 timing + 2 gates
+
+    def test_cold_ingest_speedup_below_floor_fails(self):
+        verdicts = _verdicts(_ingest_report(cold_speedup=2.9), _ingest_report())
+        failures = [m for ok, m in verdicts if not ok]
+        assert any("columnar" in m and "speedup" in m for m in failures)
+
+    def test_warm_store_speedup_below_floor_fails(self):
+        verdicts = _verdicts(_ingest_report(warm_speedup=9.0), _ingest_report())
+        failures = [m for ok, m in verdicts if not ok]
+        assert any("warm_store" in m and "speedup" in m for m in failures)
+
+    def test_ingest_timing_regression_fails_like_any_other(self):
+        current = _ingest_report()
+        current["results"]["ingest_msr"]["columnar"]["seconds"] = 9.0
+        failures = [m for ok, m in _verdicts(current, _ingest_report()) if not ok]
+        assert any("ingest_msr.columnar" in m for m in failures)
+
+    def test_custom_floors_are_respected(self):
+        report = _ingest_report(cold_speedup=2.0, warm_speedup=5.0)
+        verdicts = list(
+            check_regression.check(
+                report,
+                report,
+                0.2,
+                3.0,
+                min_ingest_speedup=1.5,
+                min_warm_speedup=4.0,
+            )
+        )
+        assert all(ok for ok, _ in verdicts)
+
+
 class TestMain:
     def test_exit_zero_on_pass_and_one_on_fail(self, tmp_path, capsys):
         current = tmp_path / "current.json"
@@ -97,3 +158,6 @@ class TestMain:
         assert baseline["ops"] >= 1_000_000
         speedup = baseline["results"]["replay_ls"]["batch"]["speedup_vs_reference"]
         assert speedup >= 3.0
+        ingest = baseline["results"]["ingest_msr"]
+        assert ingest["columnar"]["speedup_vs_reference"] >= 3.0
+        assert ingest["warm_store"]["speedup_vs_reference"] >= 10.0

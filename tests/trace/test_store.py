@@ -1,0 +1,207 @@
+"""The persistent compiled-trace store (repro.trace.store).
+
+Invalidation is by construction — the entry key hashes the complete parse
+identity — so these tests pin the behaviours that matter: byte-exact
+round-trips (columns *and* the full ParseReport), hits that skip the
+parser, forced misses whenever the source bytes / policy / parse args /
+parser version change, and corrupt-entry healing.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import numpy as np
+import pytest
+
+import repro.trace.store as store_mod
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.store import (
+    TraceStore,
+    file_meta,
+    load_trace,
+    meta_key,
+    synthetic_meta,
+)
+from repro.workloads import synthesize_workload
+
+CSV_DIRTY = (
+    "timestamp,op,lba,length\n"
+    "0.0,read,0,8\n"
+    "0.1,write,16,8\n"
+    "zz,read,1,1\n"  # bad row: exercises report round-tripping
+    "0.2,read,0,24\n"
+)
+
+
+@pytest.fixture
+def source(tmp_path):
+    path = tmp_path / "dirty.csv"
+    path.write_text(CSV_DIRTY)
+    return path
+
+
+@pytest.fixture
+def store(tmp_path):
+    return TraceStore(tmp_path / "store")
+
+
+@pytest.fixture
+def parse_counter(monkeypatch):
+    """Count how often the store actually parses (vs. serves a hit)."""
+    calls = []
+    original = store_mod._parse
+
+    def counting(*args, **kwargs):
+        calls.append(args)
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(store_mod, "_parse", counting)
+    return calls
+
+
+def _report_tuple(report):
+    issues = lambda lst: [(i.line_no, i.reason, i.line) for i in lst]
+    return (
+        report.name,
+        report.policy,
+        report.records,
+        report.accepted,
+        report.skipped,
+        report.quarantined,
+        report.filtered,
+        issues(report.errors),
+        issues(report.quarantine),
+        report.max_error_samples,
+    )
+
+
+class TestRoundTrip:
+    def test_columns_and_report_identical(self, source, store):
+        parsed = load_trace(source, "csv", store=store, policy="quarantine")
+        loaded = load_trace(source, "csv", store=store, policy="quarantine")
+        assert isinstance(loaded, ColumnarTrace)
+        assert loaded.name == parsed.name
+        assert list(loaded) == list(parsed)
+        for got, want in zip(loaded.as_arrays(), parsed.as_arrays()):
+            assert got.dtype == want.dtype
+            assert np.array_equal(got, want)
+        assert np.array_equal(loaded.timestamps(), parsed.timestamps())
+        assert loaded.timestamps().dtype == np.float64
+        assert _report_tuple(loaded.parse_report) == _report_tuple(
+            parsed.parse_report
+        )
+
+    def test_synthetic_round_trip_without_report(self, store):
+        trace = synthesize_workload("hm_1", seed=7, scale=0.01)
+        meta = synthetic_meta("hm_1", 7, 0.01)
+        store.store(trace, meta)
+        loaded = store.load(meta)
+        assert list(loaded) == list(trace)
+        assert loaded.parse_report is None
+
+    def test_store_without_a_store_is_a_plain_parse(self, source):
+        trace = load_trace(source, "csv", policy="lenient")
+        assert len(trace) == 3
+
+    def test_unknown_format_rejected(self, source, store):
+        with pytest.raises(ValueError, match="fmt"):
+            load_trace(source, "binary", store=store)
+
+
+class TestHitsAndMisses:
+    def test_unchanged_source_hits(self, source, store, parse_counter):
+        load_trace(source, "csv", store=store, policy="lenient")
+        load_trace(source, "csv", store=store, policy="lenient")
+        assert len(parse_counter) == 1
+        assert len(store) == 1
+
+    def test_source_byte_change_misses(self, source, store, parse_counter):
+        load_trace(source, "csv", store=store, policy="lenient")
+        source.write_text(CSV_DIRTY + "0.3,write,32,8\n")
+        trace = load_trace(source, "csv", store=store, policy="lenient")
+        assert len(parse_counter) == 2
+        assert len(trace) == 4
+        assert len(store) == 2  # the stale entry lands on a different key
+
+    def test_policy_change_misses(self, source, store, parse_counter):
+        load_trace(source, "csv", store=store, policy="lenient")
+        load_trace(source, "csv", store=store, policy="quarantine")
+        assert len(parse_counter) == 2
+
+    def test_parse_arg_change_misses(self, source, store, parse_counter):
+        load_trace(source, "csv", store=store, policy="lenient")
+        load_trace(
+            source, "csv", store=store, policy="lenient", capacity_sectors=10**9
+        )
+        assert len(parse_counter) == 2
+
+    def test_parser_version_change_misses(
+        self, source, store, parse_counter, monkeypatch
+    ):
+        load_trace(source, "csv", store=store, policy="lenient")
+        monkeypatch.setattr(store_mod, "COLUMNAR_PARSER_VERSION", 999_999)
+        load_trace(source, "csv", store=store, policy="lenient")
+        assert len(parse_counter) == 2
+
+    def test_meta_key_is_canonical(self):
+        a = {"kind": "synthetic", "name": "x", "seed": 1, "scale": 1.0, "version": "1"}
+        b = dict(reversed(list(a.items())))
+        assert meta_key(a) == meta_key(b)
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_a_miss_and_removed(self, source, store):
+        meta = file_meta(source, "csv", policy="lenient")
+        load_trace(source, "csv", store=store, policy="lenient")
+        path = store.path_for(meta)
+        path.write_bytes(b"not an npz archive")
+        assert store.load(meta) is None
+        assert not path.exists()
+        # The next load_trace heals the entry.
+        trace = load_trace(source, "csv", store=store, policy="lenient")
+        assert len(trace) == 3 and path.exists()
+
+    def test_header_meta_mismatch_is_a_miss(self, source, store):
+        meta = file_meta(source, "csv", policy="lenient")
+        other = file_meta(source, "csv", policy="quarantine")
+        load_trace(source, "csv", store=store, policy="lenient")
+        # A foreign entry squatting on another key must not be served.
+        shutil.copy(store.path_for(meta), store.path_for(other))
+        assert store.load(other) is None
+        assert not store.path_for(other).exists()
+
+    def test_clear_empties_the_store(self, source, store):
+        load_trace(source, "csv", store=store, policy="lenient")
+        assert len(store) == 1
+        assert store.clear() == 1
+        assert len(store) == 0 and store.entries() == []
+
+
+class TestExperimentIntegration:
+    def test_workload_trace_round_trips_through_store(self, tmp_path, monkeypatch):
+        from repro.experiments import common
+
+        direct = synthesize_workload("hm_1", seed=3, scale=0.01)
+        previous = common.trace_store()
+        common.set_trace_store(tmp_path / "store")
+        try:
+            common.clear_trace_cache()
+            first = common.workload_trace("hm_1", 3, 0.01)
+            assert list(first) == list(direct)
+            assert len(common.trace_store()) == 1
+
+            # A cold process (empty LRU) must load from the store, not
+            # re-synthesize: poison the generator to prove it.
+            common.clear_trace_cache()
+            monkeypatch.setattr(
+                common,
+                "synthesize_workload",
+                lambda *a, **k: pytest.fail("store should have served this"),
+            )
+            second = common.workload_trace("hm_1", 3, 0.01)
+            assert second.name == first.name
+            assert list(second) == list(direct)
+        finally:
+            common.set_trace_store(previous)
+            common.clear_trace_cache()
