@@ -12,7 +12,7 @@ export PYTHONPATH := src
 COV_FLAGS := $(shell $(PYTHON) -c "import pytest_cov" 2>/dev/null && echo --cov=repro --cov-fail-under=85)
 XDIST_FLAGS := $(shell $(PYTHON) -c "import xdist" 2>/dev/null && echo -n auto)
 
-.PHONY: install test test-fast smoke bench bench-micro experiments charts lint-clean all
+.PHONY: install test test-fast smoke bench bench-smoke bench-micro experiments charts lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -41,6 +41,13 @@ smoke:
 bench:
 	$(PYTHON) benchmarks/bench_kernels.py --out benchmarks/BENCH_core.json
 	$(PYTHON) benchmarks/check_regression.py benchmarks/BENCH_core.json
+
+# Every macro-benchmark at ~10k ops, ungated: a seconds-long sanity pass
+# that the harness itself still runs end to end (also exercised in tier-1
+# via tests/test_bench_smoke.py).  Numbers at this scale are meaningless;
+# nothing is compared against the baseline.
+bench-smoke:
+	$(PYTHON) benchmarks/bench_kernels.py --ops 10000 --no-runner --out /tmp/BENCH_smoke.json
 
 # The original pytest-benchmark micro suite (per-exhibit + substrate).
 bench-micro:

@@ -34,9 +34,18 @@ from repro.analysis.fast import (
 )
 from repro.analysis.temporal import WindowedSeekRecorder
 from repro.core.batch import batch_replay
-from repro.core.config import LS, LS_ALL, NOLS, build_translator
+from repro.core.config import (
+    LS,
+    LS_ALL,
+    NOLS,
+    PAPER_CONFIGS,
+    TechniqueConfig,
+    build_translator,
+)
 from repro.core.recorders import SeekLogRecorder
+from repro.core.selective_cache import SelectiveCacheConfig
 from repro.core.simulator import replay
+from repro.experiments.sweep import SweepEngine
 from repro.trace.msr import parse_msr_file
 from repro.trace.store import TraceStore, load_trace
 from repro.trace.writers import write_msr_trace
@@ -51,6 +60,10 @@ SCHEMA_VERSION = 1
 READ_HEAVY = ("hm_1", 24_000)
 WRITE_HEAVY = ("w84", 30_000)
 
+#: The 16-point selective-cache capacity grid for the sweep benchmark
+#: (log-ish spacing over the paper's 1–256 MB range).
+CACHE_SWEEP_MIB = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256)
+
 
 def _timed(fn, repeat: int) -> float:
     """Best-of-``repeat`` wall time (best-of absorbs scheduler noise)."""
@@ -64,7 +77,9 @@ def _timed(fn, repeat: int) -> float:
 
 
 def _workload(name: str, base_ops: int, n_ops: int):
-    scale = max(1.0, n_ops / base_ops)
+    # No floor on the scale: smoke runs (make bench-smoke) shrink the
+    # traces below their base op counts to finish in seconds.
+    scale = n_ops / base_ops
     return synthesize_workload(name, seed=42, scale=scale)
 
 
@@ -165,6 +180,68 @@ def bench_analysis(trace, repeat: int) -> dict:
     }
 
 
+def bench_fig11_sweep(trace, repeat: int) -> dict:
+    """A fig11-style grid on one workload: NoLS baseline + the four paper
+    technique configs.  *reference* replays each config with the
+    per-request simulator; *sweep* drives a fresh
+    :class:`~repro.experiments.sweep.SweepEngine` (so the fragment-stream
+    recording is timed too, exactly as a cold exhibit pays it).
+    """
+    configs = [NOLS] + list(PAPER_CONFIGS)
+    n = len(trace)
+
+    def reference():
+        for config in configs:
+            replay(trace, build_translator(trace, config))
+
+    def fast():
+        engine = SweepEngine(fast=True)
+        engine.sweep(trace, configs)
+
+    reference_s = _timed(reference, repeat)
+    sweep_s = _timed(fast, repeat)
+    return {
+        "ops": n,
+        "configs": len(configs),
+        "reference": _side(reference_s, n),
+        "sweep": _side(sweep_s, n, reference_s),
+    }
+
+
+def bench_cache_sweep(trace, repeat: int) -> dict:
+    """The 16-point selective-cache capacity ablation on one workload.
+
+    *reference* replays every capacity point with the per-request
+    simulator; *sweep* records the fragment stream once and evaluates all
+    sixteen points via the shared stack-distance kernel.
+    """
+    configs = [
+        TechniqueConfig(
+            name=f"cache{mib}",
+            cache=SelectiveCacheConfig(capacity_mib=float(mib)),
+        )
+        for mib in CACHE_SWEEP_MIB
+    ]
+    n = len(trace)
+
+    def reference():
+        for config in configs:
+            replay(trace, build_translator(trace, config))
+
+    def fast():
+        engine = SweepEngine(fast=True)
+        engine.sweep(trace, configs)
+
+    reference_s = _timed(reference, repeat)
+    sweep_s = _timed(fast, repeat)
+    return {
+        "ops": n,
+        "configs": len(configs),
+        "reference": _side(reference_s, n),
+        "sweep": _side(sweep_s, n, reference_s),
+    }
+
+
 def bench_runner(scale: float = 0.05) -> dict:
     """Informational: serial vs. jobs=2 wall time over two real exhibits."""
     import contextlib
@@ -206,6 +283,8 @@ def run(n_ops: int, repeat: int, include_runner: bool) -> dict:
         "replay_ls": bench_replay_pair(read_heavy, LS, repeat),
         "replay_ls_all": bench_replay_pair(read_heavy, LS_ALL, repeat),
         "replay_ls_write_heavy": bench_replay_pair(write_heavy, LS, repeat),
+        "sweep_fig11": bench_fig11_sweep(read_heavy, repeat),
+        "sweep_cache_ablation": bench_cache_sweep(read_heavy, repeat),
         "ingest_msr": bench_ingest(read_heavy, repeat),
         "analysis_nols": bench_analysis(read_heavy, repeat),
     }
@@ -238,7 +317,7 @@ def main(argv=None) -> int:
 
     for name, pair in report["results"].items():
         parts = [f"reference {pair['reference']['seconds']:8.2f}s"]
-        for side in ("batch", "columnar", "warm_store", "fast"):
+        for side in ("batch", "sweep", "columnar", "warm_store", "fast"):
             if side in pair:
                 parts.append(
                     f"{side} {pair[side]['seconds']:8.2f}s "

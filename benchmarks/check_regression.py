@@ -21,8 +21,10 @@ DEFAULT_TOLERANCE = 0.20
 DEFAULT_MIN_SPEEDUP = 3.0
 DEFAULT_MIN_INGEST_SPEEDUP = 3.0
 DEFAULT_MIN_WARM_SPEEDUP = 10.0
+DEFAULT_MIN_FIG11_SPEEDUP = 5.0
+DEFAULT_MIN_CACHE_SWEEP_SPEEDUP = 10.0
 
-_SIDES = ("reference", "batch", "columnar", "warm_store", "fast")
+_SIDES = ("reference", "batch", "sweep", "columnar", "warm_store", "fast")
 
 
 def _flatten(results: dict) -> dict:
@@ -42,6 +44,8 @@ def check(
     min_speedup: float,
     min_ingest_speedup: float = DEFAULT_MIN_INGEST_SPEEDUP,
     min_warm_speedup: float = DEFAULT_MIN_WARM_SPEEDUP,
+    min_fig11_speedup: float = DEFAULT_MIN_FIG11_SPEEDUP,
+    min_cache_sweep_speedup: float = DEFAULT_MIN_CACHE_SWEEP_SPEEDUP,
 ):
     """Yield ``(ok, message)`` per check, comparing like with like."""
     if current.get("ops") != baseline.get("ops"):
@@ -68,6 +72,22 @@ def check(
         f"replay_ls batch speedup {speedup:.2f}x "
         f"(required >= {min_speedup:.1f}x)"
     )
+
+    # Sweep-engine gates: multi-config (fig11-style) replay and the
+    # 16-point cache-capacity ablation, each vs the per-request reference
+    # path.  Like the ingest gates, they engage only when the report
+    # carries the entries.
+    for name, floor, label in (
+        ("sweep_fig11", min_fig11_speedup, "multi-config replay"),
+        ("sweep_cache_ablation", min_cache_sweep_speedup, "cache-size ablation"),
+    ):
+        entry = current.get("results", {}).get(name, {}).get("sweep")
+        if entry is not None:
+            speedup = entry.get("speedup_vs_reference", 0.0)
+            yield speedup >= floor, (
+                f"{name} sweep ({label}) speedup {speedup:.2f}x "
+                f"(required >= {floor:.1f}x)"
+            )
 
     # Ingestion gates apply only when the report carries the entries (older
     # reports without the ingest benchmark still pass their own checks).
@@ -100,6 +120,14 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--min-warm-speedup", type=float, default=DEFAULT_MIN_WARM_SPEEDUP
     )
+    parser.add_argument(
+        "--min-fig11-speedup", type=float, default=DEFAULT_MIN_FIG11_SPEEDUP
+    )
+    parser.add_argument(
+        "--min-cache-sweep-speedup",
+        type=float,
+        default=DEFAULT_MIN_CACHE_SWEEP_SPEEDUP,
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -121,6 +149,8 @@ def main(argv=None) -> int:
         args.min_speedup,
         min_ingest_speedup=args.min_ingest_speedup,
         min_warm_speedup=args.min_warm_speedup,
+        min_fig11_speedup=args.min_fig11_speedup,
+        min_cache_sweep_speedup=args.min_cache_sweep_speedup,
     ):
         print(("ok   " if ok else "FAIL ") + message)
         failed += 0 if ok else 1

@@ -32,6 +32,17 @@ from repro.core.batch import (
     batch_replay_translator,
     supports_batch,
 )
+from repro.core.stream import (
+    FragmentStream,
+    StreamRunResult,
+    StreamUnsupportedError,
+    cache_hit_thresholds,
+    record_fragment_stream,
+    stream_cache_sweep,
+    stream_replay,
+    supports_cache_sweep,
+    supports_stream,
+)
 from repro.core.recorders import (
     Recorder,
     SeekRecord,
@@ -78,6 +89,15 @@ __all__ = [
     "batch_replay",
     "batch_replay_translator",
     "supports_batch",
+    "FragmentStream",
+    "StreamRunResult",
+    "StreamUnsupportedError",
+    "cache_hit_thresholds",
+    "record_fragment_stream",
+    "stream_cache_sweep",
+    "stream_replay",
+    "supports_cache_sweep",
+    "supports_stream",
     "SimulationError",
     "TransientIOError",
     "RetriesExhaustedError",

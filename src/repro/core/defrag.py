@@ -20,7 +20,7 @@ fragmented read triggers a rewrite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -52,7 +52,10 @@ class OpportunisticDefrag:
     at the log head and then call :meth:`note_defragmented`.
     """
 
-    def __init__(self, config: DefragConfig = DefragConfig()) -> None:
+    def __init__(self, config: Optional[DefragConfig] = None) -> None:
+        # A `config=DefragConfig()` default would be evaluated once at def
+        # time and shared by every instance; build one per instance.
+        config = DefragConfig() if config is None else config
         self._config = config
         self._access_counts: Dict[Tuple[int, int], int] = {}
 

@@ -15,6 +15,7 @@ conventional drive.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cache.prefetch_buffer import PrefetchBuffer
 from repro.util.units import kib_to_sectors
@@ -57,7 +58,10 @@ class LookAheadBehindPrefetcher:
     surrounding window becomes available to later fragments.
     """
 
-    def __init__(self, config: PrefetchConfig = PrefetchConfig()) -> None:
+    def __init__(self, config: Optional[PrefetchConfig] = None) -> None:
+        # A `config=PrefetchConfig()` default would be evaluated once at
+        # def time and shared by every instance; build one per instance.
+        config = PrefetchConfig() if config is None else config
         self._config = config
         self._behind = kib_to_sectors(config.behind_kib)
         self._ahead = kib_to_sectors(config.ahead_kib)

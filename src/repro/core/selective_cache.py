@@ -17,6 +17,7 @@ reads to new PBAs; stale cached blocks age out via LRU.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.cache.lru import LRUCache
 from repro.util.units import BYTES_PER_MIB
@@ -50,7 +51,10 @@ class SelectiveFragmentCache:
     the cache entirely, per the algorithm's ``FragmentedRead`` guard.
     """
 
-    def __init__(self, config: SelectiveCacheConfig = SelectiveCacheConfig()) -> None:
+    def __init__(self, config: Optional[SelectiveCacheConfig] = None) -> None:
+        # A `config=SelectiveCacheConfig()` default would be evaluated once
+        # at def time and shared by every instance; build one per instance.
+        config = SelectiveCacheConfig() if config is None else config
         self._config = config
         self._lru = LRUCache(
             capacity_bytes=int(config.capacity_mib * BYTES_PER_MIB),

@@ -1,0 +1,627 @@
+"""Shared-replay technique kernels over a recorded fragment-access stream.
+
+The chunked batch kernel (:mod:`repro.core.batch`) replays one
+configuration per pass, paying the extent-map work — ``lookup_pieces`` per
+read, ``map_range`` per write — every time.  But the paper's read-path
+techniques have a key structural property: **look-ahead-behind prefetching
+(Alg. 2) and selective caching (Alg. 3) never change the log layout.**
+Only writes (and opportunistic-defrag rewrites, Alg. 1) move the frontier
+or remap extents, so for any defrag-free configuration the sequence of
+physical fragments each read resolves to is *identical* to plain LS —
+the techniques merely decide, per fragment of a fragmented read, whether
+the disk access happens at all.
+
+This module exploits that:
+
+* :func:`record_fragment_stream` performs **one** plain-LS replay of a
+  trace and records the full fragment-access stream — every would-be disk
+  access (pba, length, read/write kind) plus the grouping of fragments
+  into fragmented reads — as flat numpy arrays.
+* :func:`stream_replay` evaluates any cache/prefetch configuration
+  against the recorded stream without touching the extent map: a Python
+  loop drives the stateful policy over the *fragmented-read fragments
+  only* (the minority of accesses), producing a keep-mask; seek
+  classification over the kept accesses is then fully vectorized.
+* :func:`stream_cache_sweep` evaluates an entire *cache-capacity sweep*
+  in one shared pass: block-granular LRU caches obey the stack-inclusion
+  property (a larger cache always holds a superset of a smaller one under
+  the same access sequence), so a single Mattson-style stack-distance
+  pass yields, for every fragment access, the minimum capacity at which
+  it hits — each capacity point then costs only an array threshold plus
+  the vectorized classification.
+
+All three are **exact**: results are bit-for-bit equal to the reference
+:class:`~repro.core.simulator.Simulator` (stats, seek-distance log, seek
+directions, final head/frontier and technique-internal state), enforced
+by ``tests/differential/test_techniques_vs_reference.py``.  Defrag
+configurations mutate the layout and therefore have no stream kernel —
+they stay on the chunked stateful kernel in :mod:`repro.core.batch`.
+
+Doctest (one recording, two cache sizes, no re-replay)::
+
+    >>> from repro.core.config import TechniqueConfig
+    >>> from repro.core.selective_cache import SelectiveCacheConfig
+    >>> from repro.core.stream import record_fragment_stream, stream_replay
+    >>> from repro.trace.record import IORequest
+    >>> from repro.trace.trace import Trace
+    >>> trace = Trace(
+    ...     [IORequest.write(0, 32), IORequest.write(8, 8)]
+    ...     + [IORequest.read(0, 32) for _ in range(3)],
+    ...     name="doc",
+    ... )
+    >>> stream = record_fragment_stream(trace)
+    >>> stream.fragmented_reads, stream.accesses
+    (3, 11)
+    >>> cached = TechniqueConfig(name="c", cache=SelectiveCacheConfig(1.0))
+    >>> stream_replay(stream, cached).stats.cache_fragment_hits
+    6
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch import DEFAULT_CHUNK_OPS
+from repro.core.config import TechniqueConfig
+from repro.core.outcomes import SimStats
+from repro.core.prefetch import LookAheadBehindPrefetcher
+from repro.core.selective_cache import SelectiveFragmentCache
+from repro.core.simulator import RunResult
+from repro.core.translators import LogStructuredTranslator
+from repro.trace.trace import Trace
+from repro.util.units import BYTES_PER_MIB, SECTOR_BYTES
+
+# Access-stream kind codes (shared with repro.core.batch).
+_KIND_READ = 0
+_KIND_WRITE = 1
+
+#: Threshold sentinel for fragments that can never hit (a block was never
+#: cached before), larger than any real capacity in blocks.
+_NEVER_HITS = np.int64(1) << 62
+
+
+class StreamUnsupportedError(ValueError):
+    """The requested configuration has no stream kernel (e.g. defrag)."""
+
+
+def supports_stream(config: TechniqueConfig) -> bool:
+    """True if :func:`stream_replay` covers this technique configuration.
+
+    The stream kernels require a layout identical to plain LS, so any
+    log-structured configuration *without* defrag qualifies: plain LS,
+    LS+prefetch, LS+cache and LS+prefetch+cache.  NoLS (different layout)
+    and defrag configurations (layout-mutating) do not.
+    """
+    return (
+        isinstance(config, TechniqueConfig)
+        and config.log_structured
+        and config.defrag is None
+    )
+
+
+def supports_cache_sweep(config: TechniqueConfig) -> bool:
+    """True if the config can join a shared :func:`stream_cache_sweep`.
+
+    Capacity sweeping rides on the LRU stack-inclusion property, which
+    holds only when the cache is the sole technique: a prefetch buffer
+    would make admissions depend on coverage (and thus on capacity), and
+    defrag would change the layout.
+    """
+    return (
+        supports_stream(config)
+        and config.cache is not None
+        and config.prefetch is None
+    )
+
+
+@dataclass(frozen=True)
+class FragmentStream:
+    """The fragment-access stream of one plain-LS replay of a trace.
+
+    Attributes:
+        trace_name: Name of the recorded trace.
+        frontier_base: First log sector (``trace.max_end``).
+        frontier: Final write frontier after the replay.
+        layout: The plain-LS translator the recording replay drove; its
+            extent map, frontier and head position are exactly the
+            reference end-state — and, because cache/prefetch never remap
+            anything, also the end-state of *every* defrag-free replay.
+        pba / length / kind: The access stream a technique-free LS replay
+            performs, one entry per physical access (``kind`` is 0 for
+            reads, 1 for writes).  Cache/prefetch configurations serve a
+            *subset* of these accesses from RAM; they never add accesses.
+        group_start / group_size: One entry per fragmented read: index of
+            its first fragment in the access stream, and its fragment
+            count.  Only these accesses are policy-eligible (the paper's
+            ``FragmentedRead`` guard).
+        reads / writes / sectors_read / sectors_written / read_fragments /
+            fragmented_reads: Aggregate counters that are invariant across
+            every defrag-free configuration (resolution is layout-only).
+    """
+
+    trace_name: str
+    frontier_base: int
+    frontier: int
+    layout: LogStructuredTranslator
+    pba: np.ndarray
+    length: np.ndarray
+    kind: np.ndarray
+    group_start: np.ndarray
+    group_size: np.ndarray
+    reads: int
+    writes: int
+    sectors_read: int
+    sectors_written: int
+    read_fragments: int
+    fragmented_reads: int
+
+    @property
+    def accesses(self) -> int:
+        """Number of physical accesses in the plain-LS stream."""
+        return int(self.pba.shape[0])
+
+    def fragment_access_indices(self) -> np.ndarray:
+        """Indices (into the access stream) of all policy-eligible fragments."""
+        if self.group_size.size == 0:
+            return np.empty(0, dtype=np.int64)
+        total = int(self.group_size.sum())
+        offsets = np.repeat(
+            np.cumsum(self.group_size) - self.group_size, self.group_size
+        )
+        return np.repeat(self.group_start, self.group_size) + (
+            np.arange(total, dtype=np.int64) - offsets
+        )
+
+
+@dataclass(frozen=True)
+class StreamRunResult:
+    """Result of evaluating one configuration against a recorded stream.
+
+    Attributes:
+        run_result: Drop-in :class:`~repro.core.simulator.RunResult`
+            identical to the reference simulator's.
+        distances: Signed distances of every seek, in access order.
+        distance_is_read: Parallel bool array (True = read-direction seek).
+        frontier: Final write frontier (same as the stream's — defrag-free
+            replays never move it differently).
+        head_position: Final head position, or None if nothing accessed
+            the disk.
+        cache: The live cache the evaluation drove (None when no cache is
+            configured, or for thresholded sweep points which never build
+            one).
+        prefetcher: The live prefetcher (None when not configured).
+    """
+
+    run_result: RunResult
+    distances: np.ndarray
+    distance_is_read: np.ndarray
+    frontier: int
+    head_position: Optional[int]
+    cache: Optional[SelectiveFragmentCache]
+    prefetcher: Optional[LookAheadBehindPrefetcher]
+
+    @property
+    def stats(self) -> SimStats:
+        return self.run_result.stats
+
+    @property
+    def read_distances(self) -> np.ndarray:
+        """Distances of read-direction seeks only (Fig. 4's input)."""
+        return self.distances[self.distance_is_read]
+
+
+# --------------------------------------------------------------------- #
+# Recording: one plain-LS replay, stream captured
+# --------------------------------------------------------------------- #
+
+
+def record_fragment_stream(
+    trace: Trace,
+    chunk_ops: int = DEFAULT_CHUNK_OPS,
+) -> FragmentStream:
+    """Replay ``trace`` once under plain LS and record the access stream.
+
+    Follows the chunked-sweep pattern of the batch LS kernel (stateful
+    extent-map work in a tight Python loop, buffers flushed to arrays per
+    chunk); ``chunk_ops`` only bounds peak buffer memory and is
+    unobservable in the result.
+    """
+    if chunk_ops <= 0:
+        raise ValueError(f"chunk_ops must be > 0, got {chunk_ops}")
+    translator = LogStructuredTranslator(frontier_base=trace.max_end)
+    amap = translator.address_map
+    lookup_pieces = amap.lookup_pieces
+    map_range = amap.map_range
+    frontier = translator.frontier
+    frontier_base = translator.frontier_base
+
+    requests = trace.requests
+    n = len(requests)
+    pba_chunks: List[np.ndarray] = []
+    len_chunks: List[np.ndarray] = []
+    kind_chunks: List[np.ndarray] = []
+    group_start: List[int] = []
+    group_size: List[int] = []
+    stream_len = 0
+
+    reads = writes = 0
+    sectors_read = sectors_written = 0
+    read_fragments = fragmented_reads = 0
+
+    for start in range(0, n, chunk_ops):
+        chunk = requests[start : start + chunk_ops]
+        pba_buf: List[int] = []
+        len_buf: List[int] = []
+        kind_buf: List[int] = []
+        append_pba = pba_buf.append
+        append_len = len_buf.append
+        append_kind = kind_buf.append
+
+        for request in chunk:
+            req_length = request.length
+            if request.is_write:
+                append_pba(frontier)
+                append_len(req_length)
+                append_kind(_KIND_WRITE)
+                map_range(request.lba, frontier, req_length)
+                frontier += req_length
+                writes += 1
+                sectors_written += req_length
+                continue
+
+            req_lba = request.lba
+            if req_lba + req_length > frontier_base:
+                raise ValueError(
+                    f"request [{req_lba}, {req_lba + req_length}) crosses the "
+                    f"frontier base {frontier_base}; size the log above the "
+                    "workload's LBA space"
+                )
+            pieces = lookup_pieces(req_lba, req_length)
+            fragments = len(pieces)
+            reads += 1
+            sectors_read += req_length
+            read_fragments += fragments
+            if fragments > 1:
+                fragmented_reads += 1
+                group_start.append(stream_len + len(pba_buf))
+                group_size.append(fragments)
+            for pba, piece_length, _hole in pieces:
+                append_pba(pba)
+                append_len(piece_length)
+                append_kind(_KIND_READ)
+
+        if pba_buf:
+            pba_chunks.append(np.asarray(pba_buf, dtype=np.int64))
+            len_chunks.append(np.asarray(len_buf, dtype=np.int64))
+            kind_chunks.append(np.asarray(kind_buf, dtype=np.int8))
+            stream_len += len(pba_buf)
+
+    pba = (
+        np.concatenate(pba_chunks) if pba_chunks else np.empty(0, dtype=np.int64)
+    )
+    length = (
+        np.concatenate(len_chunks) if len_chunks else np.empty(0, dtype=np.int64)
+    )
+    kind = (
+        np.concatenate(kind_chunks) if kind_chunks else np.empty(0, dtype=np.int8)
+    )
+    for array in (pba, length, kind):
+        array.setflags(write=False)
+
+    # Leave the layout translator in the exact reference end-state.
+    translator._frontier = frontier
+    if stream_len:
+        translator.head._position = int(pba[-1] + length[-1])
+
+    return FragmentStream(
+        trace_name=trace.name,
+        frontier_base=frontier_base,
+        frontier=frontier,
+        layout=translator,
+        pba=pba,
+        length=length,
+        kind=kind,
+        group_start=np.asarray(group_start, dtype=np.int64),
+        group_size=np.asarray(group_size, dtype=np.int64),
+        reads=reads,
+        writes=writes,
+        sectors_read=sectors_read,
+        sectors_written=sectors_written,
+        read_fragments=read_fragments,
+        fragmented_reads=fragmented_reads,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Evaluation: one configuration against the recorded stream
+# --------------------------------------------------------------------- #
+
+
+def _classify(
+    pba: np.ndarray, length: np.ndarray, kind: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int, int, Optional[int]]:
+    """Vectorized seek classification of a (kept) access stream.
+
+    Returns ``(distances, distance_is_read, read_seeks, write_seeks,
+    final_head_position)``; the first access never seeks (fresh head).
+    """
+    if pba.shape[0] == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=bool),
+            0,
+            0,
+            None,
+        )
+    prev_end = np.empty_like(pba)
+    prev_end[0] = pba[0]
+    np.add(pba[:-1], length[:-1], out=prev_end[1:])
+    seek = pba != prev_end
+    seek_kinds = kind[seek]
+    distances = (pba - prev_end)[seek]
+    distance_is_read = seek_kinds == _KIND_READ
+    read_seeks = int(np.count_nonzero(distance_is_read))
+    write_seeks = int(seek_kinds.shape[0] - read_seeks)
+    return (
+        distances,
+        distance_is_read,
+        read_seeks,
+        write_seeks,
+        int(pba[-1] + length[-1]),
+    )
+
+
+def _description(config: TechniqueConfig) -> str:
+    """The reference translator's description for a defrag-free config."""
+    parts = ["LS"]
+    if config.prefetch is not None:
+        parts.append("prefetch")
+    if config.cache is not None:
+        parts.append("cache")
+    return "+".join(parts)
+
+
+def _stream_stats(
+    stream: FragmentStream,
+    cache_hits: int,
+    buffer_hits: int,
+    read_seeks: int,
+    write_seeks: int,
+) -> SimStats:
+    stats = SimStats()
+    stats.reads = stream.reads
+    stats.writes = stream.writes
+    stats.sectors_read = stream.sectors_read
+    stats.sectors_written = stream.sectors_written
+    stats.read_fragments = stream.read_fragments
+    stats.fragmented_reads = stream.fragmented_reads
+    stats.cache_fragment_hits = cache_hits
+    stats.buffer_fragment_hits = buffer_hits
+    stats.read_seeks = read_seeks
+    stats.write_seeks = write_seeks
+    return stats
+
+
+def _result(
+    stream: FragmentStream,
+    config: TechniqueConfig,
+    keep: Optional[np.ndarray],
+    cache_hits: int,
+    buffer_hits: int,
+    cache: Optional[SelectiveFragmentCache],
+    prefetcher: Optional[LookAheadBehindPrefetcher],
+) -> StreamRunResult:
+    if keep is None:
+        kept = (stream.pba, stream.length, stream.kind)
+    else:
+        kept = (stream.pba[keep], stream.length[keep], stream.kind[keep])
+    distances, distance_is_read, read_seeks, write_seeks, head = _classify(*kept)
+    stats = _stream_stats(stream, cache_hits, buffer_hits, read_seeks, write_seeks)
+    return StreamRunResult(
+        run_result=RunResult(
+            trace_name=stream.trace_name,
+            translator=_description(config),
+            stats=stats,
+        ),
+        distances=distances,
+        distance_is_read=distance_is_read,
+        frontier=stream.frontier,
+        head_position=head,
+        cache=cache,
+        prefetcher=prefetcher,
+    )
+
+
+def stream_replay(
+    stream: FragmentStream, config: TechniqueConfig
+) -> StreamRunResult:
+    """Evaluate one defrag-free configuration against a recorded stream.
+
+    The policy loop visits only the fragments of fragmented reads (every
+    other access reaches the disk unconditionally) and mirrors the
+    reference service order exactly: cache lookup, then prefetch-buffer
+    coverage, then the disk access followed by window prefetch and cache
+    admission.  Raises :class:`StreamUnsupportedError` for configurations
+    without a stream kernel (NoLS, defrag).
+    """
+    if not supports_stream(config):
+        raise StreamUnsupportedError(
+            f"no stream kernel for config {config!r}; use repro.core.batch "
+            "(defrag / NoLS) or the reference Simulator"
+        )
+    cache = SelectiveFragmentCache(config.cache) if config.cache else None
+    prefetcher = (
+        LookAheadBehindPrefetcher(config.prefetch) if config.prefetch else None
+    )
+    if cache is None and prefetcher is None:
+        return _result(stream, config, None, 0, 0, None, None)
+
+    keep = np.ones(stream.accesses, dtype=bool)
+    cache_hits = buffer_hits = 0
+    pba, length = stream.pba, stream.length
+    for start, size in zip(stream.group_start.tolist(), stream.group_size.tolist()):
+        for i in range(start, start + size):
+            piece_pba = int(pba[i])
+            piece_length = int(length[i])
+            if cache is not None and cache.lookup(piece_pba, piece_length):
+                cache_hits += 1
+                keep[i] = False
+                continue
+            if prefetcher is not None and prefetcher.covers(piece_pba, piece_length):
+                buffer_hits += 1
+                keep[i] = False
+                continue
+            if prefetcher is not None:
+                prefetcher.note_fragment_read(piece_pba, piece_length)
+            if cache is not None:
+                cache.admit(piece_pba, piece_length)
+    return _result(stream, config, keep, cache_hits, buffer_hits, cache, prefetcher)
+
+
+# --------------------------------------------------------------------- #
+# Capacity sweep: one stack-distance pass, one threshold per point
+# --------------------------------------------------------------------- #
+
+
+class _Fenwick:
+    """Minimal Fenwick (binary indexed) tree for the stack-distance pass."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        tree = self.tree
+        while index <= self.size:
+            tree[index] += delta
+            index += index & (-index)
+
+    def prefix(self, index: int) -> int:
+        tree = self.tree
+        total = 0
+        while index > 0:
+            total += tree[index]
+            index -= index & (-index)
+        return total
+
+
+def cache_hit_thresholds(
+    stream: FragmentStream, block_sectors: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Minimum hitting capacity, in blocks, for every policy-eligible fragment.
+
+    One Mattson stack-distance pass over the fragment accesses of the
+    recorded stream.  Returns ``(access_indices, min_blocks)``: for the
+    fragment at stream index ``access_indices[i]``, a selective cache of
+    ``c`` blocks (and this ``block_sectors``) hits **iff**
+    ``min_blocks[i] <= c``.  Fragments touching a never-before-cached
+    block get a sentinel larger than any real capacity.
+
+    This is sound because the cache's recency timeline is
+    capacity-independent: whether a fragment hits (``touch_range``) or
+    misses (``admit``), all its blocks end up most-recently-used in block
+    order, so a capacity-``c`` cache always holds exactly the ``c`` most
+    recently touched distinct blocks (LRU stack inclusion) and residency
+    reduces to a stack-distance threshold.
+    """
+    if block_sectors <= 0:
+        raise ValueError(f"block_sectors must be > 0, got {block_sectors}")
+    access_indices = stream.fragment_access_indices()
+    if access_indices.size == 0:
+        return access_indices, np.empty(0, dtype=np.int64)
+    pba = stream.pba[access_indices]
+    length = stream.length[access_indices]
+    first_blocks = pba // block_sectors
+    last_blocks = (pba + length - 1) // block_sectors
+    total_touches = int((last_blocks - first_blocks + 1).sum())
+
+    fenwick = _Fenwick(total_touches)
+    fenwick_add = fenwick.add
+    fenwick_prefix = fenwick.prefix
+    last_touch: Dict[int, int] = {}
+    alive = 0
+    clock = 0
+    min_blocks = np.empty(access_indices.size, dtype=np.int64)
+
+    firsts = first_blocks.tolist()
+    lasts = last_blocks.tolist()
+    for position, (first, last) in enumerate(zip(firsts, lasts)):
+        # Rank phase: the state is frozen while contains_range() checks.
+        worst = 0
+        for block in range(first, last + 1):
+            touched_at = last_touch.get(block)
+            if touched_at is None:
+                worst = -1
+                break
+            rank = alive - fenwick_prefix(touched_at - 1)
+            if rank > worst:
+                worst = rank
+        min_blocks[position] = _NEVER_HITS if worst < 0 else worst
+        # Touch phase: hit or miss, every block becomes MRU in block order.
+        for block in range(first, last + 1):
+            touched_at = last_touch.get(block)
+            if touched_at is None:
+                alive += 1
+            else:
+                fenwick_add(touched_at, -1)
+            clock += 1
+            fenwick_add(clock, 1)
+            last_touch[block] = clock
+    return access_indices, min_blocks
+
+
+def _capacity_blocks(config: TechniqueConfig) -> int:
+    """The cache's block capacity, exactly as :class:`LRUCache` computes it."""
+    cache_config = config.cache
+    capacity_bytes = int(cache_config.capacity_mib * BYTES_PER_MIB)
+    return capacity_bytes // (cache_config.block_sectors * SECTOR_BYTES)
+
+
+def stream_cache_sweep(
+    stream: FragmentStream,
+    configs: Sequence[TechniqueConfig],
+    thresholds: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+) -> List[StreamRunResult]:
+    """Evaluate a selective-cache capacity sweep against one recording.
+
+    Every config must satisfy :func:`supports_cache_sweep` and share one
+    ``block_sectors``.  The stack-distance pass runs once (pass a
+    precomputed ``thresholds`` pair to reuse it across calls); each sweep
+    point then costs a threshold compare plus the vectorized seek
+    classification.  Results are exact and in ``configs`` order; sweep
+    results carry ``cache=None`` (no per-point cache object is ever
+    built).
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    for config in configs:
+        if not supports_cache_sweep(config):
+            raise StreamUnsupportedError(
+                f"config {config.name!r} cannot join a shared cache sweep "
+                "(requires log-structured + cache only)"
+            )
+    block_sectors = configs[0].cache.block_sectors
+    if any(c.cache.block_sectors != block_sectors for c in configs):
+        raise StreamUnsupportedError(
+            "cache sweep requires a single block_sectors across all configs"
+        )
+    if thresholds is None:
+        thresholds = cache_hit_thresholds(stream, block_sectors)
+    access_indices, min_blocks = thresholds
+
+    results: List[StreamRunResult] = []
+    for config in configs:
+        hit = min_blocks <= _capacity_blocks(config)
+        keep = np.ones(stream.accesses, dtype=bool)
+        keep[access_indices[hit]] = False
+        cache_hits = int(np.count_nonzero(hit))
+        results.append(
+            _result(stream, config, keep, cache_hits, 0, None, None)
+        )
+    return results

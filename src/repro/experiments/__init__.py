@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     exhibit_fingerprint,
     run_exhibits,
 )
+from repro.experiments.sweep import SweepEngine, reset_sweep_engines, sweep_engine
 
 __all__ = [
     "EXHIBITS",
@@ -28,4 +29,7 @@ __all__ = [
     "RunManifest",
     "exhibit_fingerprint",
     "run_exhibits",
+    "SweepEngine",
+    "reset_sweep_engines",
+    "sweep_engine",
 ]

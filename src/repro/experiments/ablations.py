@@ -32,33 +32,43 @@ from repro.core.prefetch import PrefetchConfig
 from repro.core.selective_cache import SelectiveCacheConfig
 from repro.core.simulator import replay
 from repro.core.translators import LogStructuredTranslator
-from repro.experiments.common import replay_with, save_json, workload_trace
+from repro.experiments.common import save_json
 from repro.experiments.render import format_table
+from repro.experiments.sweep import SweepEngine, sweep_engine
 from repro.util.units import mib_to_sectors
 from repro.workloads import ReadMix, WorkloadSpec, WriteMix, generate_workload
 
 
-def _saf(trace, baseline_stats, config: TechniqueConfig) -> float:
-    stats = replay_with(trace, config).stats
-    return seek_amplification(stats, baseline_stats).total
+def _sweep_safs(
+    engine: SweepEngine, name: str, configs
+) -> list:
+    """Total SAF per config on one workload, via the shared-replay engine."""
+    baseline = engine.baseline(name)
+    return [
+        seek_amplification(result.stats, baseline).total
+        for result in engine.workload_sweep(name, list(configs))
+    ]
 
 
 def run_cache(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
     """Selective-cache capacity sweep on a cache-friendly workload (w91),
     a capacity-limited one (usr_1) and a small-working-set one (hm_1)."""
     sizes = (4.0, 16.0, 64.0, 256.0)
+    engine = sweep_engine(seed, scale)
     data = {}
     rows = []
     for name in ("w91", "usr_1", "hm_1"):
-        trace = workload_trace(name, seed, scale)
-        baseline = replay_with(trace, NOLS).stats
-        row = {"LS": _saf(trace, baseline, TechniqueConfig(name="LS"))}
-        for mib in sizes:
-            config = TechniqueConfig(
+        configs = [TechniqueConfig(name="LS")] + [
+            TechniqueConfig(
                 name=f"cache{mib:g}",
                 cache=SelectiveCacheConfig(capacity_mib=mib),
             )
-            row[f"{mib:g}MB"] = round(_saf(trace, baseline, config), 3)
+            for mib in sizes
+        ]
+        safs = _sweep_safs(engine, name, configs)
+        row = {"LS": safs[0]}
+        for mib, saf in zip(sizes, safs[1:]):
+            row[f"{mib:g}MB"] = round(saf, 3)
         data[name] = row
         rows.append([name, f"{row['LS']:.2f}"] + [f"{row[f'{m:g}MB']:.2f}" for m in sizes])
     print(
@@ -75,18 +85,21 @@ def run_cache(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None)
 def run_defrag(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
     """Defrag throttle grid (N x k) on w91 (defrag helps) and w20 (hurts)."""
     grid = [(n, k) for n in (2, 4, 8) for k in (1, 2, 4)]
+    engine = sweep_engine(seed, scale)
     data = {}
     for name in ("w91", "w20"):
-        trace = workload_trace(name, seed, scale)
-        baseline = replay_with(trace, NOLS).stats
-        ls = _saf(trace, baseline, TechniqueConfig(name="LS"))
-        cells = {}
-        for n, k in grid:
-            config = TechniqueConfig(
+        configs = [TechniqueConfig(name="LS")] + [
+            TechniqueConfig(
                 name=f"defrag{n}:{k}",
                 defrag=DefragConfig(min_fragments=n, min_accesses=k),
             )
-            cells[f"N{n}k{k}"] = round(_saf(trace, baseline, config), 3)
+            for n, k in grid
+        ]
+        safs = _sweep_safs(engine, name, configs)
+        ls = safs[0]
+        cells = {
+            f"N{n}k{k}": round(saf, 3) for (n, k), saf in zip(grid, safs[1:])
+        }
         data[name] = {"LS": round(ls, 3), "grid": cells}
         rows = [
             [f"N={n}"] + [f"{cells[f'N{n}k{k}']:.2f}" for k in (1, 2, 4)]
@@ -107,18 +120,21 @@ def run_prefetch(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = No
     """Prefetch window sweep on w91 (cluster-local fragments) and hm_1
     (temporally scattered fragments — windows cannot help much)."""
     windows = (64.0, 128.0, 256.0, 512.0)
+    engine = sweep_engine(seed, scale)
     data = {}
     rows = []
     for name in ("w91", "hm_1"):
-        trace = workload_trace(name, seed, scale)
-        baseline = replay_with(trace, NOLS).stats
-        row = {"LS": round(_saf(trace, baseline, TechniqueConfig(name="LS")), 3)}
-        for kib in windows:
-            config = TechniqueConfig(
+        configs = [TechniqueConfig(name="LS")] + [
+            TechniqueConfig(
                 name=f"pf{kib:g}",
                 prefetch=PrefetchConfig(behind_kib=kib, ahead_kib=kib),
             )
-            row[f"{kib:g}KB"] = round(_saf(trace, baseline, config), 3)
+            for kib in windows
+        ]
+        safs = _sweep_safs(engine, name, configs)
+        row = {"LS": round(safs[0], 3)}
+        for kib, saf in zip(windows, safs[1:]):
+            row[f"{kib:g}KB"] = round(saf, 3)
         data[name] = row
         rows.append(
             [name, f"{row['LS']:.2f}"] + [f"{row[f'{w:g}KB']:.2f}" for w in windows]
@@ -209,7 +225,7 @@ def run_multifrontier(
     seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None
 ) -> dict:
     """Single vs WOLF-style dual frontier on a hot/cold mixed workload."""
-    trace = workload_trace("w91", seed, scale)
+    trace = sweep_engine(seed, scale).trace("w91")
     baseline = replay(trace, build_translator(trace, NOLS)).stats
 
     single = LogStructuredTranslator(frontier_base=trace.max_end)
@@ -270,24 +286,24 @@ def run_combined(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = No
     from repro.workloads import TABLE1
 
     combined = LS_ALL
+    engine = sweep_engine(seed, scale)
     data = {}
     rows = []
     for name in TABLE1:
-        trace = workload_trace(name, seed, scale)
-        baseline = replay_with(trace, NOLS).stats
+        single_configs = (
+            TechniqueConfig(name="LS"),
+            TechniqueConfig(name="LS+defrag", defrag=DefragConfig()),
+            TechniqueConfig(name="LS+prefetch", prefetch=PrefetchConfig()),
+            TechniqueConfig(name="LS+cache", cache=SelectiveCacheConfig()),
+        )
+        safs = _sweep_safs(engine, name, single_configs + (combined,))
         singles = {
-            config.name: _saf(trace, baseline, config)
-            for config in (
-                TechniqueConfig(name="LS"),
-                TechniqueConfig(name="LS+defrag", defrag=DefragConfig()),
-                TechniqueConfig(name="LS+prefetch", prefetch=PrefetchConfig()),
-                TechniqueConfig(name="LS+cache", cache=SelectiveCacheConfig()),
-            )
+            config.name: saf for config, saf in zip(single_configs, safs)
         }
         best_single = min(
             (value, key) for key, value in singles.items() if key != "LS"
         )
-        all_three = _saf(trace, baseline, combined)
+        all_three = safs[-1]
         data[name] = {
             "ls": round(singles["LS"], 3),
             "best_single": round(best_single[0], 3),
@@ -325,14 +341,13 @@ def run_taxonomy(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = No
     from repro.core.config import LS
     from repro.workloads import TABLE1
 
+    engine = sweep_engine(seed, scale)
     data = {}
     rows = []
     agree = 0
     for name in TABLE1:
-        trace = workload_trace(name, seed, scale)
-        baseline = replay_with(trace, NOLS).stats
-        ls = replay_with(trace, LS).stats
-        saf = seek_amplification(ls, baseline).total
+        trace = engine.trace(name)
+        saf = engine.saf(name, LS).total
         measured = classify_saf(saf)
         predicted = characterize(trace).predicted_sensitivity()
         matches = predicted is measured or (

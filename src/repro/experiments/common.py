@@ -9,7 +9,7 @@ from typing import Iterable, Optional, Sequence, Tuple
 from repro.core.batch import batch_replay
 from repro.core.config import TechniqueConfig, build_translator
 from repro.core.recorders import Recorder
-from repro.core.simulator import RunResult, Simulator
+from repro.core.simulator import RetryPolicy, RunResult, Simulator
 from repro.trace.trace import Trace
 from repro.util.io import atomic_write_json
 from repro.workloads import synthesize_workload
@@ -114,22 +114,26 @@ def replay_with(
     config: TechniqueConfig,
     recorders: Sequence[Recorder] = (),
     fast: Optional[bool] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> RunResult:
     """Replay ``trace`` under ``config`` with optional recorders attached.
 
     ``fast`` selects the vectorized batch kernel
     (:mod:`repro.core.batch`); ``None`` defers to ``config.fast`` or the
     process-wide default set by :func:`set_fast_replay`.  The kernel is
-    exact, and replays it cannot serve (recorders attached) fall back to
-    the reference simulator automatically, so enabling it never changes
+    exact, and replays it cannot serve — recorders attached, or a
+    ``retry_policy`` (the kernel never injects faults) — fall back to the
+    reference simulator automatically, so enabling it never changes
     results.
     """
     if fast is None:
         fast = config.fast or _fast_replay_default
-    if fast and not recorders:
+    if fast and not recorders and retry_policy is None:
         return batch_replay(trace, config).run_result
     translator = build_translator(trace, config)
-    return Simulator(recorders=list(recorders)).run(trace, translator)
+    return Simulator(
+        recorders=list(recorders), retry_policy=retry_policy
+    ).run(trace, translator)
 
 
 def save_json(exhibit: str, data: dict, out_dir: Optional[str]) -> Optional[Path]:

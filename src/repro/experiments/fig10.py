@@ -6,8 +6,9 @@ from typing import Optional
 
 from repro.analysis.popularity import FragmentPopularityRecorder
 from repro.core.config import LS
-from repro.experiments.common import downsample, replay_with, save_json, workload_trace
+from repro.experiments.common import downsample, save_json
 from repro.experiments.render import format_table
+from repro.experiments.sweep import sweep_engine
 from repro.workloads import FIG10_WORKLOADS
 
 EXHIBIT = "fig10"
@@ -20,12 +21,15 @@ def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> di
     covering the bulk of accesses (say 80–90 %) total at most a few tens
     of MB — comfortably inside a 64 MB selective cache.
     """
+    engine = sweep_engine(seed, scale)
     data = {}
     rows = []
     for name in FIG10_WORKLOADS:
-        trace = workload_trace(name, seed, scale)
+        trace = engine.trace(name)
         recorder = FragmentPopularityRecorder()
-        replay_with(trace, LS, [recorder])
+        # The recorder observes per-request outcomes, so the engine routes
+        # this replay to the reference simulator regardless of --fast.
+        engine.replay(trace, LS, [recorder])
         curve = recorder.curve()
         mib_50 = curve.cache_mib_for_access_share(0.5)
         mib_80 = curve.cache_mib_for_access_share(0.8)

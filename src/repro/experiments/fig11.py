@@ -4,10 +4,11 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.config import NOLS, PAPER_CONFIGS
+from repro.core.config import PAPER_CONFIGS
 from repro.core.metrics import seek_amplification
-from repro.experiments.common import replay_with, save_json, workload_trace
+from repro.experiments.common import save_json
 from repro.experiments.render import format_table
+from repro.experiments.sweep import sweep_engine
 from repro.workloads import CLOUDPHYSICS_WORKLOADS, MSR_WORKLOADS
 
 EXHIBIT = "fig11"
@@ -24,16 +25,17 @@ def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> di
     marginal for usr_1/hm_1/w55/w33; caching is the best technique nearly
     everywhere.
     """
+    engine = sweep_engine(seed, scale)
     data = {}
     for family, names in (("msr", MSR_WORKLOADS), ("cloudphysics", CLOUDPHYSICS_WORKLOADS)):
         rows = []
         for name in names:
-            trace = workload_trace(name, seed, scale)
-            baseline = replay_with(trace, NOLS).stats
+            baseline = engine.baseline(name)
             safs = {}
-            for config in PAPER_CONFIGS:
-                stats = replay_with(trace, config).stats
-                saf = seek_amplification(stats, baseline)
+            for config, result in zip(
+                PAPER_CONFIGS, engine.workload_sweep(name, PAPER_CONFIGS)
+            ):
+                saf = seek_amplification(result.stats, baseline)
                 safs[config.name] = {
                     "read": round(saf.read, 3),
                     "write": round(saf.write, 3),

@@ -9,29 +9,35 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.prefetch import LookAheadBehindPrefetcher, PrefetchConfig
-from repro.core.translators import LogStructuredTranslator
+from repro.core.config import LS, TechniqueConfig
+from repro.core.prefetch import PrefetchConfig
 from repro.experiments.common import save_json
+from repro.experiments.sweep import sweep_engine
 from repro.trace.record import IORequest
+from repro.trace.trace import Trace
 
 EXHIBIT = "fig9"
 UNIT = 8  # one toy "LBA" = 8 sectors (4 KiB)
 
+WITH_PREFETCH = TechniqueConfig(
+    name="LS+prefetch",
+    prefetch=PrefetchConfig(behind_kib=4.0, ahead_kib=4.0, buffer_mib=1.0),
+)
 
-def _scenario(prefetch: bool) -> dict:
-    prefetcher = None
-    if prefetch:
-        prefetcher = LookAheadBehindPrefetcher(
-            PrefetchConfig(behind_kib=4.0, ahead_kib=4.0, buffer_mib=1.0)
-        )
-    translator = LogStructuredTranslator(frontier_base=16 * UNIT, prefetcher=prefetcher)
-    for unit in (3, 2, 4):                                           # tA, tB, tC
-        translator.submit(IORequest.write(unit * UNIT, UNIT))
-    outcome = translator.submit(IORequest.read(1 * UNIT, 5 * UNIT))  # tD / tD'
+
+def _scenario_trace() -> Trace:
+    """Wr 3; Wr 2; Wr 4; Rd 1-5 over an initially contiguous LBA range."""
+    requests = [IORequest.write(unit * UNIT, UNIT) for unit in (3, 2, 4)]  # tA..tC
+    requests.append(IORequest.read(1 * UNIT, 5 * UNIT))                    # tD / tD'
+    return Trace(requests, name="fig9")
+
+
+def _scenario(engine, config: TechniqueConfig) -> dict:
+    stats = engine.replay(_scenario_trace(), config).stats
     return {
-        "fragments": outcome.fragments,
-        "read_seeks": outcome.read_seeks,
-        "buffer_fragment_hits": outcome.buffer_fragment_hits,
+        "fragments": stats.read_fragments,
+        "read_seeks": stats.read_seeks,
+        "buffer_fragment_hits": stats.buffer_fragment_hits,
     }
 
 
@@ -42,9 +48,10 @@ def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> di
     1..5 pays 5 seeks; with look-ahead-behind it pays 3, with LBAs 3 and 4
     served from the prefetch buffer.
     """
+    engine = sweep_engine(seed, scale)
     data = {
-        "without_prefetch": _scenario(prefetch=False),
-        "with_prefetch": _scenario(prefetch=True),
+        "without_prefetch": _scenario(engine, LS),
+        "with_prefetch": _scenario(engine, WITH_PREFETCH),
     }
     wo, wp = data["without_prefetch"], data["with_prefetch"]
     print("Fig. 9 scenario (LBAs 1..6 contiguous; Wr 3; Wr 2; Wr 4; Rd 1-5)")

@@ -1,0 +1,256 @@
+"""Shared-replay sweep engine for (workload x technique x parameter) grids.
+
+Every headline exhibit replays each workload several times: fig11 runs a
+NoLS baseline plus four technique configs per workload, and the ablations
+add a fresh full replay per parameter point.  The replays are highly
+redundant — the NoLS baseline is shared by every grid point, and all
+defrag-free configurations resolve reads against the *identical* plain-LS
+layout (see :mod:`repro.core.stream`).  :class:`SweepEngine` plans a grid
+so the expensive work happens once per workload:
+
+* the **NoLS baseline** is replayed once (vectorized batch kernel) and
+  its stats memoized;
+* the **fragment-access stream** is recorded once per trace
+  (:func:`~repro.core.stream.record_fragment_stream`) and every
+  cache/prefetch grid point is evaluated against the recording;
+* **selective-cache capacity sweeps** collapse further: one
+  stack-distance pass serves every capacity point
+  (:func:`~repro.core.stream.stream_cache_sweep`);
+* **defrag** grid points (layout-mutating) run through the chunked batch
+  kernel (:mod:`repro.core.batch`), NoLS/unknown configs likewise.
+
+All paths are exact, so exhibit JSON is byte-identical to the reference
+pipeline; replays that attach recorders or a retry policy fall back to
+the reference simulator automatically (the kernels cannot observe
+per-request events or inject faults).  The engine defers to the
+process-wide ``--fast`` switch (:func:`~repro.experiments.common.
+set_fast_replay`): with fast replay off, every call routes through the
+reference path unchanged.
+
+Engines are memoized per ``(seed, scale)`` via :func:`sweep_engine`, so
+exhibits running in one process (serial ``all`` runs, one pool worker
+handling several exhibits) share baselines and recorded streams.  Traces
+themselves still come from :func:`~repro.experiments.common.
+workload_trace`, which consults the compiled-trace store — parallel
+workers therefore stop re-parsing once the store is primed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.batch import batch_replay, supports_batch
+from repro.core.config import NOLS, TechniqueConfig
+from repro.core.metrics import SeekAmplification, seek_amplification
+from repro.core.outcomes import SimStats
+from repro.core.recorders import Recorder
+from repro.core.simulator import RetryPolicy, RunResult
+from repro.core.stream import (
+    FragmentStream,
+    cache_hit_thresholds,
+    record_fragment_stream,
+    stream_cache_sweep,
+    stream_replay,
+    supports_cache_sweep,
+    supports_stream,
+)
+from repro.experiments.common import fast_replay_default, replay_with, workload_trace
+from repro.trace.trace import Trace
+
+
+class SweepEngine:
+    """Plans and executes a replay grid with per-workload shared state.
+
+    One engine is scoped to a ``(seed, scale)`` pair (the identity of a
+    synthesized workload trace, together with its name).  ``fast=None``
+    defers to the process-wide fast-replay default *per call*, so a single
+    engine behaves correctly even when the CLI flag flips between runs.
+
+    Args:
+        seed / scale: Workload synthesis parameters.
+        fast: Force the kernels on (True) / off (False), or defer (None).
+        max_streams: Recorded fragment streams kept alive (LRU).  A
+            stream is a few arrays the size of the access stream, so two
+            in flight comfortably covers exhibits that interleave a
+            couple of workloads.
+    """
+
+    def __init__(
+        self,
+        seed: int = 42,
+        scale: float = 1.0,
+        fast: Optional[bool] = None,
+        max_streams: int = 2,
+    ) -> None:
+        if max_streams < 1:
+            raise ValueError(f"max_streams must be >= 1, got {max_streams}")
+        self.seed = seed
+        self.scale = scale
+        self._fast = fast
+        self._max_streams = max_streams
+        # id(trace) -> (trace, stream, {block_sectors: thresholds}); the
+        # strong trace reference keeps the id stable while the entry lives.
+        self._streams: "OrderedDict[int, tuple]" = OrderedDict()
+        self._baselines: Dict[str, SimStats] = {}
+        self.streams_recorded = 0
+
+    # ----------------------------------------------------------------- #
+    # Shared state
+    # ----------------------------------------------------------------- #
+
+    def fast_enabled(self, config: Optional[TechniqueConfig] = None) -> bool:
+        """Whether this call should use the kernels (mirrors replay_with)."""
+        if self._fast is not None:
+            return self._fast
+        if config is not None and config.fast:
+            return True
+        return fast_replay_default()
+
+    def trace(self, name: str) -> Trace:
+        """The workload trace (memoized + compiled-store-backed)."""
+        return workload_trace(name, self.seed, self.scale)
+
+    def stream_for(self, trace: Trace) -> FragmentStream:
+        """The recorded fragment-access stream of ``trace`` (memoized)."""
+        key = id(trace)
+        entry = self._streams.get(key)
+        if entry is not None:
+            self._streams.move_to_end(key)
+            return entry[1]
+        stream = record_fragment_stream(trace)
+        self.streams_recorded += 1
+        self._streams[key] = (trace, stream, {})
+        while len(self._streams) > self._max_streams:
+            self._streams.popitem(last=False)
+        return stream
+
+    def _thresholds(self, trace: Trace, stream: FragmentStream, block_sectors: int):
+        """Stack-distance thresholds for ``stream``, memoized per entry."""
+        entry = self._streams.get(id(trace))
+        cache = entry[2] if entry is not None else {}
+        if block_sectors not in cache:
+            cache[block_sectors] = cache_hit_thresholds(stream, block_sectors)
+        return cache[block_sectors]
+
+    def baseline(self, name: str) -> SimStats:
+        """The workload's NoLS baseline stats (replayed once per engine)."""
+        stats = self._baselines.get(name)
+        if stats is None:
+            stats = self.replay(self.trace(name), NOLS).stats
+            self._baselines[name] = stats
+        return stats
+
+    # ----------------------------------------------------------------- #
+    # Replay dispatch
+    # ----------------------------------------------------------------- #
+
+    def replay(
+        self,
+        trace: Trace,
+        config: TechniqueConfig,
+        recorders: Sequence[Recorder] = (),
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> RunResult:
+        """Replay via the cheapest exact path for ``config``.
+
+        Dispatch: recorders or a retry policy force the reference
+        simulator (through :func:`replay_with`'s own fallback); otherwise
+        defrag-free configs evaluate against the recorded stream, and
+        everything else (NoLS, defrag combinations) uses the batch kernel.
+        """
+        if recorders or retry_policy is not None:
+            return replay_with(
+                trace, config, recorders, retry_policy=retry_policy
+            )
+        if not self.fast_enabled(config):
+            return replay_with(trace, config, fast=False)
+        if supports_stream(config):
+            return stream_replay(self.stream_for(trace), config).run_result
+        if supports_batch(config):
+            return batch_replay(trace, config).run_result
+        return replay_with(trace, config, fast=False)
+
+    def sweep(
+        self, trace: Trace, configs: Sequence[TechniqueConfig]
+    ) -> List[RunResult]:
+        """Replay ``trace`` under every config, sharing whatever possible.
+
+        Results come back in ``configs`` order.  Cache-only points with a
+        common block size are batched through the shared stack-distance
+        kernel; the rest dispatch individually via :meth:`replay`.
+        """
+        configs = list(configs)
+        results: List[Optional[RunResult]] = [None] * len(configs)
+        sweepable: Dict[int, List[int]] = {}
+        if self.fast_enabled():
+            for position, config in enumerate(configs):
+                if supports_cache_sweep(config):
+                    sweepable.setdefault(
+                        config.cache.block_sectors, []
+                    ).append(position)
+        for block_sectors, positions in sweepable.items():
+            if len(positions) < 2:
+                continue  # a lone point is cheaper as a plain stream replay
+            stream = self.stream_for(trace)
+            thresholds = self._thresholds(trace, stream, block_sectors)
+            swept = stream_cache_sweep(
+                stream, [configs[p] for p in positions], thresholds=thresholds
+            )
+            for position, result in zip(positions, swept):
+                results[position] = result.run_result
+        for position, config in enumerate(configs):
+            if results[position] is None:
+                results[position] = self.replay(trace, config)
+        return results
+
+    # ----------------------------------------------------------------- #
+    # Workload-level conveniences (what the exhibits call)
+    # ----------------------------------------------------------------- #
+
+    def workload_replay(self, name: str, config: TechniqueConfig) -> RunResult:
+        return self.replay(self.trace(name), config)
+
+    def workload_sweep(
+        self, name: str, configs: Sequence[TechniqueConfig]
+    ) -> List[RunResult]:
+        return self.sweep(self.trace(name), configs)
+
+    def saf(self, name: str, config: TechniqueConfig) -> SeekAmplification:
+        """Seek amplification of ``config`` on ``name`` vs the NoLS baseline."""
+        stats = self.workload_replay(name, config).stats
+        return seek_amplification(stats, self.baseline(name))
+
+
+# --------------------------------------------------------------------- #
+# Process-wide engine registry
+# --------------------------------------------------------------------- #
+
+_ENGINES_MAX = 4
+_engines: "OrderedDict[Tuple[int, float], SweepEngine]" = OrderedDict()
+
+
+def sweep_engine(seed: int = 42, scale: float = 1.0) -> SweepEngine:
+    """The shared engine for ``(seed, scale)`` (bounded LRU registry).
+
+    Exhibits fetch their engine here so a serial ``all`` run — or one pool
+    worker handling several exhibits — shares NoLS baselines and recorded
+    streams across exhibits.  Engines defer to the process-wide fast
+    default, so the registry is safe to share between fast and reference
+    runs (the kernels are exact either way).
+    """
+    key = (seed, scale)
+    engine = _engines.get(key)
+    if engine is not None:
+        _engines.move_to_end(key)
+        return engine
+    engine = SweepEngine(seed=seed, scale=scale)
+    _engines[key] = engine
+    while len(_engines) > _ENGINES_MAX:
+        _engines.popitem(last=False)
+    return engine
+
+
+def reset_sweep_engines() -> None:
+    """Drop every memoized engine (tests; frees streams and baselines)."""
+    _engines.clear()

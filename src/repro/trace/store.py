@@ -186,6 +186,10 @@ class TraceStore:
 
     def __init__(self, root: Union[str, Path] = DEFAULT_STORE_DIR) -> None:
         self.root = Path(root)
+        #: Lifetime load outcomes for this instance (a hit is a served
+        #: compiled entry; a corrupt entry counts as a miss).
+        self.hits = 0
+        self.misses = 0
 
     def path_for(self, meta: dict) -> Path:
         return self.root / f"{meta_key(meta)}.npz"
@@ -204,10 +208,13 @@ class TraceStore:
                     raise ValueError("store entry header mismatch")
                 columns = TraceColumns(*(archive[k] for k in _COLUMN_KEYS))
         except FileNotFoundError:
+            self.misses += 1
             return None
         except Exception:
             path.unlink(missing_ok=True)
+            self.misses += 1
             return None
+        self.hits += 1
         trace = ColumnarTrace(columns, name=header["name"])
         trace.parse_report = report_from_dict(header["report"])
         return trace

@@ -1,0 +1,69 @@
+"""Default-constructed technique instances must not alias any state.
+
+``def __init__(self, config: X = XConfig())`` evaluates the default once
+at function-definition time, so every default-constructed instance shared
+one config object — a latent aliasing bug (harmless only while the
+configs stay frozen dataclasses).  The constructors now take ``None`` and
+build a fresh config per instance; these tests pin that, and that the
+*mutable* state (counters, LRU contents, window buffers, access counts)
+of two default instances is fully independent.
+"""
+
+from __future__ import annotations
+
+from repro.core.defrag import DefragConfig, OpportunisticDefrag
+from repro.core.prefetch import LookAheadBehindPrefetcher, PrefetchConfig
+from repro.core.selective_cache import SelectiveCacheConfig, SelectiveFragmentCache
+
+
+def test_default_cache_instances_do_not_alias() -> None:
+    first = SelectiveFragmentCache()
+    second = SelectiveFragmentCache()
+    assert first.config is not second.config
+    assert first.config == SelectiveCacheConfig()
+
+    first.admit(0, 8)
+    assert first.lookup(0, 8)
+    assert (first.hits, first.misses) == (1, 0)
+    assert (second.hits, second.misses) == (0, 0)
+    assert second.used_bytes == 0
+    assert not second.lookup(0, 8)
+
+
+def test_default_prefetcher_instances_do_not_alias() -> None:
+    first = LookAheadBehindPrefetcher()
+    second = LookAheadBehindPrefetcher()
+    assert first.config is not second.config
+    assert first.config == PrefetchConfig()
+
+    first.note_fragment_read(10_000, 8)
+    assert first.window_reads == 1
+    assert first.covers(10_000, 8)
+    assert second.window_reads == 0
+    assert not second.covers(10_000, 8)
+
+
+def test_default_defrag_instances_do_not_alias() -> None:
+    first = OpportunisticDefrag(DefragConfig(min_fragments=2, min_accesses=2))
+    second = OpportunisticDefrag(DefragConfig(min_fragments=2, min_accesses=2))
+    assert first.config is not second.config
+
+    assert not first.should_defragment(0, 64, fragments=3)
+    assert first.tracked_ranges == 1
+    assert second.tracked_ranges == 0
+    # The second instance starts its own count: first sighting never fires.
+    assert not second.should_defragment(0, 64, fragments=3)
+
+    defaults = (OpportunisticDefrag(), OpportunisticDefrag())
+    assert defaults[0].config is not defaults[1].config
+    assert defaults[0].config == DefragConfig()
+
+
+def test_explicit_config_still_respected() -> None:
+    config = SelectiveCacheConfig(capacity_mib=1.0, block_sectors=4)
+    cache = SelectiveFragmentCache(config)
+    assert cache.config is config
+    prefetcher = LookAheadBehindPrefetcher(PrefetchConfig(behind_kib=64.0))
+    assert prefetcher.config.behind_kib == 64.0
+    defrag = OpportunisticDefrag(DefragConfig(min_fragments=4))
+    assert defrag.config.min_fragments == 4

@@ -74,3 +74,64 @@ def assert_batch_matches_reference(trace: Trace, config: TechniqueConfig) -> Non
                 batch.translator.defrag.tracked_ranges
                 == reference_translator.defrag.tracked_ranges
             )
+
+
+def assert_stream_matches_reference(
+    trace: Trace, config: TechniqueConfig, chunk_ops: int = 8192
+) -> None:
+    """Record + stream-evaluate ``trace`` under ``config``; demand exactness.
+
+    The stream kernels (:mod:`repro.core.stream`) cover the defrag-free
+    configurations; this oracle checks the same surface as the batch one —
+    stats, distance log with directions, head position — plus the recorded
+    layout translator against the reference end-state (cache/prefetch never
+    remap, so the plain-LS layout *is* the reference layout).
+    """
+    from repro.core.stream import record_fragment_stream, stream_replay
+
+    reference_translator = build_translator(trace, config)
+    recorder = SeekLogRecorder()
+    reference = Simulator(recorders=[recorder]).run(trace, reference_translator)
+
+    stream = record_fragment_stream(trace, chunk_ops=chunk_ops)
+    result = stream_replay(stream, config)
+
+    label = f"{trace.name}/{config.name} (stream)"
+    assert result.run_result.trace_name == reference.trace_name, label
+    assert result.run_result.translator == reference.translator, label
+    assert result.stats == reference.stats, (
+        f"{label}: stats diverge\nreference={reference.stats}\nstream={result.stats}"
+    )
+    assert list(result.distances) == recorder.distances, (
+        f"{label}: seek-distance logs diverge"
+    )
+    assert list(result.distance_is_read) == [r.is_read for r in recorder.records], (
+        f"{label}: seek directions diverge"
+    )
+    assert result.head_position == reference_translator.head.position, (
+        f"{label}: final head positions diverge"
+    )
+    assert result.frontier == reference_translator.frontier, (
+        f"{label}: final frontiers diverge"
+    )
+    assert map_snapshot(stream.layout) == map_snapshot(reference_translator), (
+        f"{label}: final extent maps diverge"
+    )
+    assert stream.layout.frontier == reference_translator.frontier, label
+    if reference_translator.cache is not None:
+        assert result.cache is not None, label
+        assert result.cache.hits == reference_translator.cache.hits, label
+        assert result.cache.misses == reference_translator.cache.misses, label
+        assert (
+            result.cache.used_bytes == reference_translator.cache.used_bytes
+        ), label
+    else:
+        assert result.cache is None, label
+    if reference_translator.prefetcher is not None:
+        assert result.prefetcher is not None, label
+        assert (
+            result.prefetcher.window_reads
+            == reference_translator.prefetcher.window_reads
+        ), label
+    else:
+        assert result.prefetcher is None, label

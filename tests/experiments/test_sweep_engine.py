@@ -1,0 +1,154 @@
+"""Sweep-engine behavior: shared state, dispatch, store integration, and
+byte-identical exhibit JSON between the fast and reference paths.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import LS, PAPER_CONFIGS, TechniqueConfig
+from repro.core.recorders import SeekLogRecorder
+from repro.core.selective_cache import SelectiveCacheConfig
+from repro.experiments import ablations, common, fig9, fig10, fig11
+from repro.experiments.sweep import SweepEngine, reset_sweep_engines, sweep_engine
+from repro.trace.store import TraceStore
+from repro.workloads import synthesize_workload
+
+SEED, SCALE = 42, 0.05
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Each test starts and ends with no shared replay state."""
+    common.set_fast_replay(False)
+    common.set_trace_store(None)
+    common.clear_trace_cache()
+    reset_sweep_engines()
+    yield
+    common.set_fast_replay(False)
+    common.set_trace_store(None)
+    common.clear_trace_cache()
+    reset_sweep_engines()
+
+
+def _quiet(fn, **kwargs):
+    with contextlib.redirect_stdout(io.StringIO()):
+        return fn(**kwargs)
+
+
+class TestEngineSharing:
+    def test_registry_memoizes_per_seed_scale(self):
+        assert sweep_engine(1, 0.5) is sweep_engine(1, 0.5)
+        assert sweep_engine(1, 0.5) is not sweep_engine(2, 0.5)
+        reset_sweep_engines()
+        first = sweep_engine(1, 0.5)
+        assert sweep_engine(1, 0.5) is first
+
+    def test_one_recording_serves_many_configs(self):
+        engine = SweepEngine(seed=SEED, scale=SCALE, fast=True)
+        trace = engine.trace("hm_1")
+        engine.sweep(trace, list(PAPER_CONFIGS))
+        assert engine.streams_recorded == 1
+        engine.sweep(trace, list(PAPER_CONFIGS))
+        assert engine.streams_recorded == 1
+
+    def test_baseline_cached_per_workload(self):
+        engine = SweepEngine(seed=SEED, scale=SCALE, fast=True)
+        first = engine.baseline("hm_1")
+        assert engine.baseline("hm_1") is first
+
+    def test_recorder_routes_to_reference(self):
+        engine = SweepEngine(seed=SEED, scale=SCALE, fast=True)
+        trace = engine.trace("hm_1")
+        recorder = SeekLogRecorder()
+        result = engine.replay(trace, LS, [recorder])
+        assert len(recorder.distances) == result.stats.total_seeks
+
+    def test_fast_and_reference_agree(self):
+        reference = SweepEngine(seed=SEED, scale=SCALE, fast=False)
+        fast = SweepEngine(seed=SEED, scale=SCALE, fast=True)
+        configs = list(PAPER_CONFIGS) + [
+            TechniqueConfig(
+                name=f"cache{mib:g}",
+                cache=SelectiveCacheConfig(capacity_mib=mib),
+            )
+            for mib in (2.0, 8.0, 32.0)
+        ]
+        trace = synthesize_workload("usr_0", seed=SEED, scale=SCALE)
+        slow = reference.sweep(trace, configs)
+        quick = fast.sweep(trace, configs)
+        for config, a, b in zip(configs, slow, quick):
+            assert a.stats == b.stats, config.name
+            assert a.translator == b.translator, config.name
+
+
+class TestTraceStoreIntegration:
+    def test_fig11_hits_store_once_per_workload(self, tmp_path, monkeypatch):
+        """With a primed store, a fig11 run loads each workload exactly once."""
+        monkeypatch.setattr(fig11, "MSR_WORKLOADS", ("hm_1",))
+        monkeypatch.setattr(fig11, "CLOUDPHYSICS_WORKLOADS", ("w91",))
+        store = TraceStore(tmp_path / "store")
+        common.set_trace_store(store)
+
+        _quiet(fig11.run, seed=SEED, scale=SCALE)  # misses prime the store
+        assert store.hits == 0 and store.misses == 2
+
+        common.clear_trace_cache()
+        reset_sweep_engines()
+        store.hits = store.misses = 0
+        _quiet(fig11.run, seed=SEED, scale=SCALE)
+        assert store.hits == 2, "expected exactly one store hit per workload"
+        assert store.misses == 0
+
+    def test_store_counts_corrupt_entry_as_miss(self, tmp_path):
+        from repro.trace.store import synthetic_meta
+
+        store = TraceStore(tmp_path / "store")
+        trace = synthesize_workload("hm_1", seed=SEED, scale=0.01)
+        meta = synthetic_meta("hm_1", SEED, 0.01)
+        path = store.store(trace, meta)
+        path.write_bytes(b"torn write")
+        assert store.load(meta) is None
+        assert (store.hits, store.misses) == (0, 1)
+
+
+class TestByteIdenticalExhibits:
+    def _run_both(self, tmp_path, runs, monkeypatch=None):
+        for mode, out in (("ref", False), ("fast", True)):
+            common.set_fast_replay(out)
+            common.clear_trace_cache()
+            reset_sweep_engines()
+            for fn in runs:
+                _quiet(fn, seed=SEED, scale=SCALE, out_dir=str(tmp_path / mode))
+        ref_dir, fast_dir = tmp_path / "ref", tmp_path / "fast"
+        dumps = sorted(ref_dir.glob("*.json"))
+        assert dumps, "exhibits produced no JSON"
+        for path in dumps:
+            assert path.read_bytes() == (fast_dir / path.name).read_bytes(), (
+                f"{path.name} differs between reference and fast paths"
+            )
+
+    def test_fig9_and_fig10(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(fig10, "FIG10_WORKLOADS", ("hm_1", "w91"))
+        self._run_both(tmp_path, [fig9.run, fig10.run])
+
+    def test_fig11(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(fig11, "MSR_WORKLOADS", ("usr_0", "hm_1"))
+        monkeypatch.setattr(fig11, "CLOUDPHYSICS_WORKLOADS", ("w91",))
+        self._run_both(tmp_path, [fig11.run])
+
+    def test_ablation_sweeps(self, tmp_path):
+        self._run_both(
+            tmp_path,
+            [ablations.run_cache, ablations.run_defrag, ablations.run_prefetch],
+        )
+
+    def test_dump_content_is_valid_json(self, tmp_path):
+        common.set_fast_replay(True)
+        data = _quiet(fig9.run, seed=SEED, scale=SCALE, out_dir=str(tmp_path))
+        assert json.loads(Path(tmp_path, "fig9.json").read_text()) == data

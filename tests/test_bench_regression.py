@@ -47,6 +47,24 @@ def _ingest_report(cold_speedup=5.0, warm_speedup=40.0, **kwargs):
     return report
 
 
+def _sweep_report(fig11_speedup=8.0, cache_speedup=20.0, **kwargs):
+    report = _report(**kwargs)
+    for name, speedup, configs in (
+        ("sweep_fig11", fig11_speedup, 5),
+        ("sweep_cache_ablation", cache_speedup, 16),
+    ):
+        report["results"][name] = {
+            "ops": 1000,
+            "configs": configs,
+            "reference": {"seconds": 10.0},
+            "sweep": {
+                "seconds": round(10.0 / speedup, 4),
+                "speedup_vs_reference": speedup,
+            },
+        }
+    return report
+
+
 def _verdicts(current, baseline, tolerance=0.2, min_speedup=3.0):
     return list(check_regression.check(current, baseline, tolerance, min_speedup))
 
@@ -132,6 +150,52 @@ class TestIngestGates:
         assert all(ok for ok, _ in verdicts)
 
 
+class TestSweepGates:
+    """The sweep-engine gates, like the ingest ones, only engage when the
+    report carries the entries."""
+
+    def test_report_without_sweep_emits_no_sweep_gate(self):
+        verdicts = _verdicts(_report(), _report())
+        assert not any("sweep_fig11" in m for _, m in verdicts)
+        assert not any("sweep_cache_ablation" in m for _, m in verdicts)
+
+    def test_healthy_sweeps_pass(self):
+        verdicts = _verdicts(_sweep_report(), _sweep_report())
+        assert all(ok for ok, _ in verdicts)
+        assert any("sweep_fig11" in m for _, m in verdicts)
+        assert any("sweep_cache_ablation" in m for _, m in verdicts)
+
+    def test_fig11_sweep_below_floor_fails(self):
+        verdicts = _verdicts(_sweep_report(fig11_speedup=4.9), _sweep_report())
+        failures = [m for ok, m in verdicts if not ok]
+        assert any("sweep_fig11" in m and "speedup" in m for m in failures)
+
+    def test_cache_sweep_below_floor_fails(self):
+        verdicts = _verdicts(_sweep_report(cache_speedup=9.9), _sweep_report())
+        failures = [m for ok, m in verdicts if not ok]
+        assert any("sweep_cache_ablation" in m and "speedup" in m for m in failures)
+
+    def test_sweep_timing_regression_fails_like_any_other(self):
+        current = _sweep_report()
+        current["results"]["sweep_cache_ablation"]["sweep"]["seconds"] = 9.0
+        failures = [m for ok, m in _verdicts(current, _sweep_report()) if not ok]
+        assert any("sweep_cache_ablation.sweep" in m for m in failures)
+
+    def test_custom_floors_are_respected(self):
+        report = _sweep_report(fig11_speedup=3.0, cache_speedup=6.0)
+        verdicts = list(
+            check_regression.check(
+                report,
+                report,
+                0.2,
+                3.0,
+                min_fig11_speedup=2.5,
+                min_cache_sweep_speedup=5.0,
+            )
+        )
+        assert all(ok for ok, _ in verdicts)
+
+
 class TestMain:
     def test_exit_zero_on_pass_and_one_on_fail(self, tmp_path, capsys):
         current = tmp_path / "current.json"
@@ -161,3 +225,8 @@ class TestMain:
         ingest = baseline["results"]["ingest_msr"]
         assert ingest["columnar"]["speedup_vs_reference"] >= 3.0
         assert ingest["warm_store"]["speedup_vs_reference"] >= 10.0
+        results = baseline["results"]
+        assert results["sweep_fig11"]["sweep"]["speedup_vs_reference"] >= 5.0
+        assert (
+            results["sweep_cache_ablation"]["sweep"]["speedup_vs_reference"] >= 10.0
+        )

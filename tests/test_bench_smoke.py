@@ -1,0 +1,63 @@
+"""Smoke-run the macro-benchmark harness (``make bench-smoke``).
+
+``benchmarks/bench_kernels.py`` is a plain script outside the package, so
+a refactor of the kernels or the sweep engine can silently break it
+without any import failing in tier-1.  This test runs every benchmark at
+a tiny op count — no gating, no baseline comparison — purely to prove
+the harness still executes end to end and emits the report shape
+``check_regression.py`` consumes.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "bench_kernels.py"
+_spec = importlib.util.spec_from_file_location("bench_kernels", _SCRIPT)
+bench_kernels = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_kernels)
+
+EXPECTED_BENCHMARKS = (
+    "replay_nols",
+    "replay_ls",
+    "replay_ls_all",
+    "replay_ls_write_heavy",
+    "sweep_fig11",
+    "sweep_cache_ablation",
+    "ingest_msr",
+    "analysis_nols",
+)
+
+#: Which non-reference side(s) each benchmark reports a speedup on.
+FAST_SIDES = {
+    "replay_nols": ("batch",),
+    "replay_ls": ("batch",),
+    "replay_ls_all": ("batch",),
+    "replay_ls_write_heavy": ("batch",),
+    "sweep_fig11": ("sweep",),
+    "sweep_cache_ablation": ("sweep",),
+    "ingest_msr": ("columnar", "warm_store"),
+    "analysis_nols": ("fast",),
+}
+
+
+def test_every_benchmark_runs_at_smoke_scale(tmp_path):
+    report = bench_kernels.run(2_000, repeat=1, include_runner=False)
+    assert report["ops"] == 2_000
+    results = report["results"]
+    assert tuple(results) == EXPECTED_BENCHMARKS
+    for name, sides in FAST_SIDES.items():
+        entry = results[name]
+        assert entry["reference"]["seconds"] >= 0.0
+        for side in sides:
+            assert entry[side]["speedup_vs_reference"] > 0.0, f"{name}.{side}"
+    # The sweep benches must report the grid sizes the gates describe.
+    assert results["sweep_fig11"]["configs"] == 5
+    assert results["sweep_cache_ablation"]["configs"] == len(
+        bench_kernels.CACHE_SWEEP_MIB
+    )
+
+    # And the CLI wrapper must serialize it as valid JSON.
+    out = tmp_path / "smoke.json"
+    assert bench_kernels.main(["--ops", "1000", "--no-runner", "--out", str(out)]) == 0
+    assert json.loads(out.read_text())["ops"] == 1_000

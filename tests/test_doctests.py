@@ -9,6 +9,7 @@ import doctest
 import pytest
 
 import repro.core.batch
+import repro.core.stream
 import repro.disk.head
 import repro.trace.record
 import repro.util.rngtools
@@ -22,6 +23,7 @@ MODULES = [
     repro.trace.record,
     repro.disk.head,
     repro.core.batch,
+    repro.core.stream,
 ]
 
 
