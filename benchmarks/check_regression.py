@@ -23,8 +23,12 @@ DEFAULT_MIN_INGEST_SPEEDUP = 3.0
 DEFAULT_MIN_WARM_SPEEDUP = 10.0
 DEFAULT_MIN_FIG11_SPEEDUP = 5.0
 DEFAULT_MIN_CACHE_SWEEP_SPEEDUP = 10.0
+DEFAULT_MIN_JOBS_SCALING_SPEEDUP = 2.5
 
-_SIDES = ("reference", "batch", "sweep", "columnar", "warm_store", "fast")
+_SIDES = (
+    "reference", "batch", "sweep", "columnar", "warm_store", "fast",
+    "cold_jobs4", "warm_jobs1", "warm_jobs4",
+)
 
 
 def _flatten(results: dict) -> dict:
@@ -46,6 +50,7 @@ def check(
     min_warm_speedup: float = DEFAULT_MIN_WARM_SPEEDUP,
     min_fig11_speedup: float = DEFAULT_MIN_FIG11_SPEEDUP,
     min_cache_sweep_speedup: float = DEFAULT_MIN_CACHE_SWEEP_SPEEDUP,
+    min_jobs_scaling_speedup: float = DEFAULT_MIN_JOBS_SCALING_SPEEDUP,
 ):
     """Yield ``(ok, message)`` per check, comparing like with like."""
     if current.get("ops") != baseline.get("ops"):
@@ -89,6 +94,17 @@ def check(
                 f"(required >= {floor:.1f}x)"
             )
 
+    # End-to-end exhibit regeneration over warm memory-mapped stores must
+    # beat the best storeless configuration; the floor holds on a 1-core
+    # container because the win is store reuse, not parallelism.
+    jobs_warm = current.get("results", {}).get("jobs_scaling", {}).get("warm_jobs4")
+    if jobs_warm is not None:
+        speedup = jobs_warm.get("speedup_vs_reference", 0.0)
+        yield speedup >= min_jobs_scaling_speedup, (
+            f"jobs_scaling warm_jobs4 (exhibits over warm stores) speedup "
+            f"{speedup:.2f}x (required >= {min_jobs_scaling_speedup:.1f}x)"
+        )
+
     # Ingestion gates apply only when the report carries the entries (older
     # reports without the ingest benchmark still pass their own checks).
     ingest = current.get("results", {}).get("ingest_msr", {})
@@ -128,6 +144,11 @@ def main(argv=None) -> int:
         type=float,
         default=DEFAULT_MIN_CACHE_SWEEP_SPEEDUP,
     )
+    parser.add_argument(
+        "--min-jobs-scaling-speedup",
+        type=float,
+        default=DEFAULT_MIN_JOBS_SCALING_SPEEDUP,
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -151,6 +172,7 @@ def main(argv=None) -> int:
         min_warm_speedup=args.min_warm_speedup,
         min_fig11_speedup=args.min_fig11_speedup,
         min_cache_sweep_speedup=args.min_cache_sweep_speedup,
+        min_jobs_scaling_speedup=args.min_jobs_scaling_speedup,
     ):
         print(("ok   " if ok else "FAIL ") + message)
         failed += 0 if ok else 1

@@ -55,6 +55,24 @@ class WindowedSeekRecorder:
         return [self._counts.get(w, 0) for w in range(self._max_window + 1)]
 
 
+def long_seek_difference_series(
+    translated: List[int], baseline: List[int]
+) -> List[int]:
+    """Elementwise ``translated - baseline`` with zero-padding.
+
+    The series-level core of :func:`long_seek_difference`, shared with the
+    vectorized Fig. 3 path (which produces the two series via
+    :func:`~repro.core.stream.stream_windowed_long_seeks` and
+    :func:`~repro.analysis.fast.nols_windowed_long_seeks`).
+    """
+    a = list(translated)
+    b = list(baseline)
+    n = max(len(a), len(b))
+    a += [0] * (n - len(a))
+    b += [0] * (n - len(b))
+    return [x - y for x, y in zip(a, b)]
+
+
 def long_seek_difference(
     translated: WindowedSeekRecorder,
     baseline: WindowedSeekRecorder,
@@ -68,9 +86,4 @@ def long_seek_difference(
         raise ValueError(
             f"window sizes differ: {translated.window_ops} vs {baseline.window_ops}"
         )
-    a = translated.series()
-    b = baseline.series()
-    n = max(len(a), len(b))
-    a += [0] * (n - len(a))
-    b += [0] * (n - len(b))
-    return [x - y for x, y in zip(a, b)]
+    return long_seek_difference_series(translated.series(), baseline.series())

@@ -39,10 +39,13 @@ from repro.core.stream import (
     cache_hit_thresholds,
     record_fragment_stream,
     stream_cache_sweep,
+    stream_fragment_stats,
     stream_replay,
+    stream_windowed_long_seeks,
     supports_cache_sweep,
     supports_stream,
 )
+from repro.core.stream_store import StreamStore, stream_key
 from repro.core.recorders import (
     Recorder,
     SeekRecord,
@@ -95,9 +98,13 @@ __all__ = [
     "cache_hit_thresholds",
     "record_fragment_stream",
     "stream_cache_sweep",
+    "stream_fragment_stats",
     "stream_replay",
+    "stream_windowed_long_seeks",
     "supports_cache_sweep",
     "supports_stream",
+    "StreamStore",
+    "stream_key",
     "SimulationError",
     "TransientIOError",
     "RetriesExhaustedError",

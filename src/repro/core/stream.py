@@ -129,10 +129,18 @@ class FragmentStream:
             extent map, frontier and head position are exactly the
             reference end-state — and, because cache/prefetch never remap
             anything, also the end-state of *every* defrag-free replay.
+            ``None`` for streams rehydrated from the persistent
+            :class:`~repro.core.stream_store.StreamStore` — only the
+            differential tests inspect the layout, and persisting a whole
+            extent map would defeat the zero-copy load.
         pba / length / kind: The access stream a technique-free LS replay
             performs, one entry per physical access (``kind`` is 0 for
             reads, 1 for writes).  Cache/prefetch configurations serve a
             *subset* of these accesses from RAM; they never add accesses.
+        op_index: Originating trace request index of each access (int64,
+            non-decreasing): a write contributes one entry, a read one per
+            fragment.  Lets windowed/temporal analyses attribute stream
+            accesses back to trace positions.
         group_start / group_size: One entry per fragmented read: index of
             its first fragment in the access stream, and its fragment
             count.  Only these accesses are policy-eligible (the paper's
@@ -145,10 +153,11 @@ class FragmentStream:
     trace_name: str
     frontier_base: int
     frontier: int
-    layout: LogStructuredTranslator
+    layout: Optional[LogStructuredTranslator]
     pba: np.ndarray
     length: np.ndarray
     kind: np.ndarray
+    op_index: np.ndarray
     group_start: np.ndarray
     group_size: np.ndarray
     reads: int
@@ -243,6 +252,7 @@ def record_fragment_stream(
     pba_chunks: List[np.ndarray] = []
     len_chunks: List[np.ndarray] = []
     kind_chunks: List[np.ndarray] = []
+    op_chunks: List[np.ndarray] = []
     group_start: List[int] = []
     group_size: List[int] = []
     stream_len = 0
@@ -256,16 +266,19 @@ def record_fragment_stream(
         pba_buf: List[int] = []
         len_buf: List[int] = []
         kind_buf: List[int] = []
+        op_buf: List[int] = []
         append_pba = pba_buf.append
         append_len = len_buf.append
         append_kind = kind_buf.append
+        append_op = op_buf.append
 
-        for request in chunk:
+        for op, request in enumerate(chunk, start):
             req_length = request.length
             if request.is_write:
                 append_pba(frontier)
                 append_len(req_length)
                 append_kind(_KIND_WRITE)
+                append_op(op)
                 map_range(request.lba, frontier, req_length)
                 frontier += req_length
                 writes += 1
@@ -292,11 +305,13 @@ def record_fragment_stream(
                 append_pba(pba)
                 append_len(piece_length)
                 append_kind(_KIND_READ)
+                append_op(op)
 
         if pba_buf:
             pba_chunks.append(np.asarray(pba_buf, dtype=np.int64))
             len_chunks.append(np.asarray(len_buf, dtype=np.int64))
             kind_chunks.append(np.asarray(kind_buf, dtype=np.int8))
+            op_chunks.append(np.asarray(op_buf, dtype=np.int64))
             stream_len += len(pba_buf)
 
     pba = (
@@ -308,7 +323,10 @@ def record_fragment_stream(
     kind = (
         np.concatenate(kind_chunks) if kind_chunks else np.empty(0, dtype=np.int8)
     )
-    for array in (pba, length, kind):
+    op_index = (
+        np.concatenate(op_chunks) if op_chunks else np.empty(0, dtype=np.int64)
+    )
+    for array in (pba, length, kind, op_index):
         array.setflags(write=False)
 
     # Leave the layout translator in the exact reference end-state.
@@ -324,6 +342,7 @@ def record_fragment_stream(
         pba=pba,
         length=length,
         kind=kind,
+        op_index=op_index,
         group_start=np.asarray(group_start, dtype=np.int64),
         group_size=np.asarray(group_size, dtype=np.int64),
         reads=reads,
@@ -625,3 +644,76 @@ def stream_cache_sweep(
             _result(stream, config, keep, cache_hits, 0, None, None)
         )
     return results
+
+
+# --------------------------------------------------------------------- #
+# Derived analyses over the recorded stream (no re-replay)
+# --------------------------------------------------------------------- #
+
+
+def stream_windowed_long_seeks(
+    stream: FragmentStream,
+    window_ops: int = 1000,
+    min_seek_kib: float = 500.0,
+) -> List[int]:
+    """Per-window long-seek counts of the plain-LS replay (Fig. 3's LS side).
+
+    Exactly :class:`~repro.analysis.temporal.WindowedSeekRecorder` attached
+    to a plain-LS reference replay: windows are ``op_index // window_ops``
+    over the *trace* request index, a seek is an access whose pba differs
+    from the previous access's end, and only ``|distance| >=
+    kib_to_sectors(min_seek_kib)`` counts.  The series is dense over every
+    window the trace touches (the recorder observes all requests, seeking
+    or not), so its length is ``(n_requests - 1) // window_ops + 1``.
+    """
+    from repro.util.units import kib_to_sectors
+
+    if window_ops <= 0:
+        raise ValueError(f"window_ops must be > 0, got {window_ops}")
+    if min_seek_kib < 0:
+        raise ValueError(f"min_seek_kib must be >= 0, got {min_seek_kib}")
+    n_requests = stream.reads + stream.writes
+    if n_requests == 0:
+        return []
+    n_windows = (n_requests - 1) // window_ops + 1
+    pba, length = stream.pba, stream.length
+    if pba.shape[0] == 0:
+        return [0] * n_windows
+    prev_end = np.empty_like(pba)
+    prev_end[0] = pba[0]
+    np.add(pba[:-1], length[:-1], out=prev_end[1:])
+    deltas = pba - prev_end
+    long = (deltas != 0) & (np.abs(deltas) >= kib_to_sectors(min_seek_kib))
+    counts = np.bincount(
+        stream.op_index[long] // window_ops, minlength=n_windows
+    )
+    return counts.tolist()
+
+
+def stream_fragment_stats(stream: FragmentStream) -> List[Tuple[int, int]]:
+    """Per-fragment ``(access_count, size_sectors)`` pairs (Fig. 10's input).
+
+    Exactly :meth:`~repro.analysis.popularity.FragmentPopularityRecorder.
+    fragment_stats` under a plain-LS replay: fragments are keyed by pba
+    (stable — the infinite log never rewrites a physical extent), counts
+    tally every policy-eligible access, sizes take the maximum observed
+    access length, and the order is first-access order (the recorder's
+    dict insertion order), which is the tie-break
+    :func:`~repro.analysis.fast.popularity_curve_fast` relies on.
+    """
+    indices = stream.fragment_access_indices()
+    if indices.size == 0:
+        return []
+    pbas = stream.pba[indices]
+    lengths = stream.length[indices]
+    _, first_seen, inverse = np.unique(
+        pbas, return_index=True, return_inverse=True
+    )
+    counts = np.bincount(inverse)
+    sizes = np.zeros(first_seen.size, dtype=np.int64)
+    np.maximum.at(sizes, inverse, lengths)
+    order = np.argsort(first_seen, kind="stable")
+    return [
+        (int(count), int(size))
+        for count, size in zip(counts[order], sizes[order])
+    ]

@@ -100,8 +100,18 @@ def main(argv=None) -> int:
         default=None,
         metavar="DIR",
         help="persistent compiled-trace store: workload traces are "
-        "compiled to .npz under DIR on first use and loaded back on "
-        "later runs (exact; delete DIR to clear)",
+        "compiled to page-aligned column files under DIR on first use "
+        "and memory-mapped back on later runs (exact; delete DIR to "
+        "clear)",
+    )
+    parser.add_argument(
+        "--stream-store",
+        default=None,
+        metavar="DIR",
+        help="persistent fragment-stream store: plain-LS streams and "
+        "NoLS baselines are recorded under DIR once machine-wide and "
+        "memory-mapped by every process (exact; only consulted with "
+        "--fast; delete DIR to clear)",
     )
     args = parser.parse_args(argv)
     if args.jobs < 1:
@@ -135,6 +145,7 @@ def main(argv=None) -> int:
         jobs=args.jobs,
         fast=args.fast,
         trace_store=args.trace_store,
+        stream_store=args.stream_store,
     )
     failed = [o for o in outcomes if not o.ok]
     if args.keep_going or failed or len(outcomes) > 1:

@@ -79,6 +79,32 @@ def workload_trace(name: str, seed: int, scale: float) -> Trace:
     return trace
 
 
+_stream_store = None
+
+
+def set_stream_store(root: Optional[str]) -> None:
+    """Process-wide persistent stream store for the :class:`SweepEngine`.
+
+    Wired to the experiment CLI's ``--stream-store DIR`` flag (and
+    forwarded to each parallel worker).  With a store set, each workload's
+    plain-LS fragment stream is recorded by whichever process gets there
+    first and memory-mapped (zero-copy) by everyone else; NoLS baseline
+    stats are shared the same way.  ``None`` disables.
+    """
+    global _stream_store
+    if root is None:
+        _stream_store = None
+        return
+    from repro.core.stream_store import StreamStore
+
+    _stream_store = root if isinstance(root, StreamStore) else StreamStore(root)
+
+
+def stream_store():
+    """The active :class:`~repro.core.stream_store.StreamStore`, or None."""
+    return _stream_store
+
+
 def clear_trace_cache() -> None:
     """Drop all memoized workload traces (frees the memory immediately)."""
     _trace_cache.clear()

@@ -1,8 +1,17 @@
-"""Fig. 10 — fragment popularity and cumulative cache-size curves."""
+"""Fig. 10 — fragment popularity and cumulative cache-size curves.
+
+Sharded: one shard per workload (see :mod:`repro.experiments.registry`).
+Under ``--fast`` each shard builds the popularity curve straight off the
+recorded fragment stream —
+:func:`~repro.core.stream.stream_fragment_stats` reproduces the
+reference recorder's ``(count, size)`` pairs in first-access order, and
+:func:`~repro.analysis.fast.popularity_curve_fast` the stable-sorted
+curve — so no recorder replay is needed and the result is exact.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.popularity import FragmentPopularityRecorder
 from repro.core.config import LS
@@ -14,42 +23,67 @@ from repro.workloads import FIG10_WORKLOADS
 EXHIBIT = "fig10"
 
 
-def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
-    """Regenerate Fig. 10 for the paper's eight workloads.
+def shard_names(seed: int = 42, scale: float = 1.0) -> List[str]:
+    """One shard per Fig. 10 workload."""
+    return list(FIG10_WORKLOADS)
 
-    Shape to check: fragment accesses are highly skewed, and the fragments
-    covering the bulk of accesses (say 80–90 %) total at most a few tens
-    of MB — comfortably inside a 64 MB selective cache.
-    """
+
+def run_shard(name: str, seed: int = 42, scale: float = 1.0) -> dict:
+    """The full popularity curve of one workload (picklable payload)."""
     engine = sweep_engine(seed, scale)
+    trace = engine.trace(name)
+    if engine.fast_enabled():
+        from repro.analysis.fast import popularity_curve_fast
+        from repro.core.stream import stream_fragment_stats
+
+        curve = popularity_curve_fast(stream_fragment_stats(engine.stream_for(trace)))
+    else:
+        recorder = FragmentPopularityRecorder()
+        # The recorder observes per-request outcomes, so the engine routes
+        # this replay to the reference simulator.
+        engine.replay(trace, LS, [recorder])
+        curve = recorder.curve()
+    return {
+        "fragments": curve.fragment_count,
+        "total_accesses": curve.total_accesses,
+        "top_access_count": curve.access_counts[0] if curve.access_counts else 0,
+        "mib_50": curve.cache_mib_for_access_share(0.5),
+        "mib_80": curve.cache_mib_for_access_share(0.8),
+        "mib_90": curve.cache_mib_for_access_share(0.9),
+        "access_counts": list(curve.access_counts),
+        "cumulative_mib": list(curve.cumulative_mib),
+    }
+
+
+def merge(
+    payloads: Dict[str, dict],
+    seed: int = 42,
+    scale: float = 1.0,
+    out_dir: Optional[str] = None,
+) -> dict:
+    """Assemble shard payloads, print the table, write the JSON."""
     data = {}
     rows = []
     for name in FIG10_WORKLOADS:
-        trace = engine.trace(name)
-        recorder = FragmentPopularityRecorder()
-        # The recorder observes per-request outcomes, so the engine routes
-        # this replay to the reference simulator regardless of --fast.
-        engine.replay(trace, LS, [recorder])
-        curve = recorder.curve()
-        mib_50 = curve.cache_mib_for_access_share(0.5)
-        mib_80 = curve.cache_mib_for_access_share(0.8)
-        mib_90 = curve.cache_mib_for_access_share(0.9)
+        payload = payloads[name]
+        mib_50, mib_80, mib_90 = payload["mib_50"], payload["mib_80"], payload["mib_90"]
+        cumulative_mib = payload["cumulative_mib"]
         data[name] = {
-            "fragments": curve.fragment_count,
-            "total_accesses": curve.total_accesses,
-            "top_access_count": curve.access_counts[0] if curve.access_counts else 0,
+            "fragments": payload["fragments"],
+            "total_accesses": payload["total_accesses"],
+            "top_access_count": payload["top_access_count"],
             "cache_mib_for_50pct": round(mib_50, 2),
             "cache_mib_for_80pct": round(mib_80, 2),
             "cache_mib_for_90pct": round(mib_90, 2),
-            "total_mib": round(curve.cumulative_mib[-1], 2) if curve.cumulative_mib else 0.0,
-            "access_counts": downsample(curve.access_counts),
-            "cumulative_mib": downsample(curve.cumulative_mib),
+            "total_mib": round(cumulative_mib[-1], 2) if cumulative_mib else 0.0,
+            "access_counts": downsample(payload["access_counts"]),
+            "cumulative_mib": downsample(cumulative_mib),
         }
         rows.append(
             [
                 name,
-                curve.fragment_count,
-                curve.total_accesses,
+                payload["fragments"],
+                payload["total_accesses"],
                 f"{mib_50:.1f}",
                 f"{mib_80:.1f}",
                 f"{mib_90:.1f}",
@@ -73,3 +107,16 @@ def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> di
     )
     save_json(EXHIBIT, data, out_dir)
     return data
+
+
+def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
+    """Regenerate Fig. 10 for the paper's eight workloads.
+
+    Shape to check: fragment accesses are highly skewed, and the fragments
+    covering the bulk of accesses (say 80–90 %) total at most a few tens
+    of MB — comfortably inside a 64 MB selective cache.
+    """
+    payloads = {
+        name: run_shard(name, seed, scale) for name in shard_names(seed, scale)
+    }
+    return merge(payloads, seed, scale, out_dir)

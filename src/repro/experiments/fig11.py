@@ -1,8 +1,15 @@
-"""Fig. 11 — seek amplification factors of LS and the three techniques."""
+"""Fig. 11 — seek amplification factors of LS and the three techniques.
+
+Sharded: one shard per workload (see :mod:`repro.experiments.registry`).
+Each shard runs one workload's full technique sweep through the shared
+:class:`~repro.experiments.sweep.SweepEngine` (NoLS baseline + recorded
+fragment stream, both persistent-store-backed under ``--fast``), so a
+parallel run pays each recording once machine-wide.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.core.config import PAPER_CONFIGS
 from repro.core.metrics import seek_amplification
@@ -14,34 +21,43 @@ from repro.workloads import CLOUDPHYSICS_WORKLOADS, MSR_WORKLOADS
 EXHIBIT = "fig11"
 
 
-def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
-    """Regenerate Fig. 11: total SAF per workload under plain LS,
-    LS+opportunistic defrag, LS+look-ahead-behind prefetch and
-    LS+selective caching (64 MB), for the MSR and CloudPhysics sets.
+def shard_names(seed: int = 42, scale: float = 1.0) -> List[str]:
+    """One shard per Fig. 11 workload (both families)."""
+    return list(MSR_WORKLOADS) + list(CLOUDPHYSICS_WORKLOADS)
 
-    Shapes to check (paper §V): MSR workloads except usr_1/hm_1 sit below
-    1; most CloudPhysics workloads sit above 1 with w91 worst; defrag
-    worsens src2_2/w93/w20; prefetch gains are large for w84/w95/w91 and
-    marginal for usr_1/hm_1/w55/w33; caching is the best technique nearly
-    everywhere.
-    """
+
+def run_shard(name: str, seed: int = 42, scale: float = 1.0) -> dict:
+    """The full technique-grid SAF sweep for one workload."""
     engine = sweep_engine(seed, scale)
+    family = "msr" if name in MSR_WORKLOADS else "cloudphysics"
+    baseline = engine.baseline(name)
+    safs = {}
+    for config, result in zip(
+        PAPER_CONFIGS, engine.workload_sweep(name, PAPER_CONFIGS)
+    ):
+        saf = seek_amplification(result.stats, baseline)
+        safs[config.name] = {
+            "read": round(saf.read, 3),
+            "write": round(saf.write, 3),
+            "total": round(saf.total, 3),
+        }
+    return {"family": family, "saf": safs}
+
+
+def merge(
+    payloads: Dict[str, dict],
+    seed: int = 42,
+    scale: float = 1.0,
+    out_dir: Optional[str] = None,
+) -> dict:
+    """Assemble shard payloads, print both family tables, write the JSON."""
     data = {}
     for family, names in (("msr", MSR_WORKLOADS), ("cloudphysics", CLOUDPHYSICS_WORKLOADS)):
         rows = []
         for name in names:
-            baseline = engine.baseline(name)
-            safs = {}
-            for config, result in zip(
-                PAPER_CONFIGS, engine.workload_sweep(name, PAPER_CONFIGS)
-            ):
-                saf = seek_amplification(result.stats, baseline)
-                safs[config.name] = {
-                    "read": round(saf.read, 3),
-                    "write": round(saf.write, 3),
-                    "total": round(saf.total, 3),
-                }
-            data[name] = {"family": family, "saf": safs}
+            entry = payloads[name]
+            data[name] = entry
+            safs = entry["saf"]
             rows.append(
                 [name]
                 + [f"{safs[c.name]['total']:.2f}" for c in PAPER_CONFIGS]
@@ -55,3 +71,20 @@ def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> di
         )
     save_json(EXHIBIT, data, out_dir)
     return data
+
+
+def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
+    """Regenerate Fig. 11: total SAF per workload under plain LS,
+    LS+opportunistic defrag, LS+look-ahead-behind prefetch and
+    LS+selective caching (64 MB), for the MSR and CloudPhysics sets.
+
+    Shapes to check (paper §V): MSR workloads except usr_1/hm_1 sit below
+    1; most CloudPhysics workloads sit above 1 with w91 worst; defrag
+    worsens src2_2/w93/w20; prefetch gains are large for w84/w95/w91 and
+    marginal for usr_1/hm_1/w55/w33; caching is the best technique nearly
+    everywhere.
+    """
+    payloads = {
+        name: run_shard(name, seed, scale) for name in shard_names(seed, scale)
+    }
+    return merge(payloads, seed, scale, out_dir)

@@ -1,8 +1,17 @@
-"""Fig. 5 — CDFs of dynamic fragmentation across fragmented reads."""
+"""Fig. 5 — CDFs of dynamic fragmentation across fragmented reads.
+
+Sharded: one shard per workload (see :mod:`repro.experiments.registry`).
+Under ``--fast`` each shard reads the fragmented-read fragment counts
+straight off the recorded stream (``group_size`` is exactly the
+:class:`~repro.core.recorders.FragmentationRecorder` multiset — every
+Fig. 5 statistic filters to fragments > 1 and sorts, so read order is
+immaterial) and runs the vectorized CDF/concentration kernels, which
+agree exactly with the reference helpers.
+"""
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.fragmentation import (
     fragment_cdf,
@@ -10,11 +19,74 @@ from repro.analysis.fragmentation import (
 )
 from repro.core.config import LS
 from repro.core.recorders import FragmentationRecorder
-from repro.experiments.common import replay_with, save_json, workload_trace
+from repro.experiments.common import replay_with, save_json
 from repro.experiments.render import step_cdf
+from repro.experiments.sweep import sweep_engine
 from repro.workloads import FIG5_WORKLOADS
 
 EXHIBIT = "fig5"
+
+
+def shard_names(seed: int = 42, scale: float = 1.0) -> List[str]:
+    """One shard per Fig. 5 workload."""
+    return list(FIG5_WORKLOADS)
+
+
+def run_shard(name: str, seed: int = 42, scale: float = 1.0) -> dict:
+    """Fragmentation statistics + full CDF for one workload."""
+    engine = sweep_engine(seed, scale)
+    trace = engine.trace(name)
+    if engine.fast_enabled():
+        from repro.analysis.fast import (
+            fragment_cdf_fast,
+            fraction_of_fragments_in_top_reads_fast,
+        )
+
+        stream = engine.stream_for(trace)
+        fragments = stream.group_size.tolist()
+        top20 = fraction_of_fragments_in_top_reads_fast(fragments, 0.2)
+        cdf = fragment_cdf_fast(fragments)
+    else:
+        recorder = FragmentationRecorder()
+        replay_with(trace, LS, [recorder])
+        fragments = recorder.fragmented_read_fragments
+        top20 = fraction_of_fragments_in_top_reads(recorder.read_fragments, 0.2)
+        cdf = fragment_cdf(recorder.read_fragments)
+    return {
+        "fragmented_reads": len(fragments),
+        "total_fragments": sum(fragments),
+        "max_fragments_per_read": max(fragments) if fragments else 0,
+        "top20": top20,
+        "cdf": [(float(x), float(f)) for x, f in cdf],
+    }
+
+
+def merge(
+    payloads: Dict[str, dict],
+    seed: int = 42,
+    scale: float = 1.0,
+    out_dir: Optional[str] = None,
+) -> dict:
+    """Assemble shard payloads, print the step plots, write the JSON."""
+    data = {}
+    for name in FIG5_WORKLOADS:
+        payload = payloads[name]
+        cdf = payload["cdf"]
+        data[name] = {
+            "fragmented_reads": payload["fragmented_reads"],
+            "total_fragments": payload["total_fragments"],
+            "max_fragments_per_read": payload["max_fragments_per_read"],
+            "fraction_of_fragments_in_top20pct_reads": round(payload["top20"], 4),
+            "cdf": cdf[:200],
+        }
+        print(
+            f"Fig. 5 [{name}] fragmented reads: {payload['fragmented_reads']}, "
+            f"fragments: {payload['total_fragments']}, top-20% of reads hold "
+            f"{payload['top20']:.1%} of fragments"
+        )
+        print(step_cdf(cdf, title=f"  CDF of fragments per fragmented read, {name}"))
+    save_json(EXHIBIT, data, out_dir)
+    return data
 
 
 def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> dict:
@@ -23,26 +95,7 @@ def run(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = None) -> di
     Shape to check: fragments concentrate — the most-fragmented ~20 % of
     fragmented reads hold >=50 % of all fragments (more extreme for w36).
     """
-    data = {}
-    for name in FIG5_WORKLOADS:
-        trace = workload_trace(name, seed, scale)
-        recorder = FragmentationRecorder()
-        replay_with(trace, LS, [recorder])
-        fragments = recorder.fragmented_read_fragments
-        top20 = fraction_of_fragments_in_top_reads(recorder.read_fragments, 0.2)
-        cdf = fragment_cdf(recorder.read_fragments)
-        data[name] = {
-            "fragmented_reads": len(fragments),
-            "total_fragments": sum(fragments),
-            "max_fragments_per_read": max(fragments) if fragments else 0,
-            "fraction_of_fragments_in_top20pct_reads": round(top20, 4),
-            "cdf": cdf[:200],
-        }
-        print(
-            f"Fig. 5 [{name}] fragmented reads: {len(fragments)}, "
-            f"fragments: {sum(fragments)}, top-20% of reads hold "
-            f"{top20:.1%} of fragments"
-        )
-        print(step_cdf(cdf, title=f"  CDF of fragments per fragmented read, {name}"))
-    save_json(EXHIBIT, data, out_dir)
-    return data
+    payloads = {
+        name: run_shard(name, seed, scale) for name in shard_names(seed, scale)
+    }
+    return merge(payloads, seed, scale, out_dir)

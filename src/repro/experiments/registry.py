@@ -1,7 +1,17 @@
-"""Exhibit registry mapping names to runner modules."""
+"""Exhibit registry mapping names to runner modules.
+
+Exhibits that iterate independent workloads also declare a
+:class:`Sharding`: ``shards(seed, scale)`` lists the shard names,
+``run_shard(shard, seed, scale)`` produces one picklable payload, and
+``merge(payloads, seed, scale, out_dir)`` deterministically reassembles
+the exhibit (prints + JSON).  Each module's ``run`` is defined as merge
+over a serial shard loop, so serial and sharded-parallel runs share one
+code path and their output is byte-identical by construction.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.experiments import (
@@ -42,6 +52,27 @@ EXHIBITS: Dict[str, Runner] = {
     "taxonomy": ablations.run_taxonomy,
 }
 """All regenerable exhibits: the paper's (in its order) plus ablations."""
+
+
+@dataclass(frozen=True)
+class Sharding:
+    """How the parallel runner splits one exhibit into workload shards."""
+
+    shards: Callable[[int, float], List[str]]
+    run_shard: Callable[..., dict]
+    merge: Callable[..., dict]
+
+
+SHARDED: Dict[str, Sharding] = {
+    "fig2": Sharding(fig2.shard_names, fig2.run_shard, fig2.merge),
+    "fig3": Sharding(fig3.shard_names, fig3.run_shard, fig3.merge),
+    "fig4": Sharding(fig4.shard_names, fig4.run_shard, fig4.merge),
+    "fig5": Sharding(fig5.shard_names, fig5.run_shard, fig5.merge),
+    "fig8": Sharding(fig8.shard_names, fig8.run_shard, fig8.merge),
+    "fig10": Sharding(fig10.shard_names, fig10.run_shard, fig10.merge),
+    "fig11": Sharding(fig11.shard_names, fig11.run_shard, fig11.merge),
+}
+"""Exhibits the parallel runner may split into per-workload shards."""
 
 
 def resolve_names(requested: Sequence[str]) -> List[str]:

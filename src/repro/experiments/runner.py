@@ -25,6 +25,17 @@ module wraps :func:`~repro.experiments.registry.run_exhibit` with:
   run writes byte-identical exhibit JSON to a serial run; only the
   manifest's wall-clock durations differ.  The manifest stays
   single-writer (the parent), so checkpointing and resume work unchanged.
+* **Grid sharding** — exhibits that declare a
+  :class:`~repro.experiments.registry.Sharding` are split into
+  per-workload shards under ``jobs > 1``: the pool schedules all units
+  longest-first (shards weighted by their workload's operation count,
+  unsplittable exhibits ahead of them), workers return picklable shard
+  payloads, and the parent deterministically reassembles each exhibit
+  with the module's ``merge`` — the same code path a serial run uses — so
+  exhibit JSON and stdout stay byte-identical while fig11-class sweeps no
+  longer pin one worker.  The manifest still tracks whole exhibits: a
+  shard failure/timeout fails its exhibit (error prefixed ``shard <id>:``),
+  and resume semantics are unchanged (exhibit-level fingerprints).
 
 Because exhibit JSON dumps and the manifest are both written via
 tmp-file+rename (:mod:`repro.util.io`), a run killed at any instant leaves
@@ -48,7 +59,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.registry import run_exhibit
+from repro.experiments.registry import SHARDED, run_exhibit
 from repro.util.io import atomic_write_json
 from repro.util.rngtools import SeedSequenceFactory
 
@@ -222,17 +233,22 @@ def _json_dump_valid(path: Path) -> bool:
 
 def _pool_worker(
     task: Tuple[
-        str, int, float, Optional[str], Optional[str], Optional[float], bool,
-        Optional[str],
+        str, Optional[str], int, float, Optional[str], Optional[str],
+        Optional[float], bool, Optional[str], Optional[str],
     ],
-) -> Tuple[str, str, float, Optional[str], List[str], str]:
-    """Run one exhibit inside a pool worker process.
+) -> Tuple[str, Optional[str], str, float, Optional[str], List[str], str, Optional[dict]]:
+    """Run one scheduling unit (whole exhibit or one shard) in a worker.
 
-    Returns ``(name, status, duration_s, error, svg_paths, captured_stdout)``.
-    Never raises: every failure mode is folded into the status so the
-    parent keeps its single-writer control of the manifest.
+    Returns ``(name, shard, status, duration_s, error, svg_paths,
+    captured_stdout, payload)``; ``payload`` is the shard's picklable
+    result (None for whole exhibits, whose JSON the worker writes
+    itself).  Never raises: every failure mode is folded into the status
+    so the parent keeps its single-writer control of the manifest.
     """
-    name, seed, scale, out_dir, svg_dir, timeout_s, fast, trace_store = task
+    (
+        name, shard, seed, scale, out_dir, svg_dir, timeout_s, fast,
+        trace_store, stream_store,
+    ) = task
     # Exhibits are pure functions of (name, seed, scale), but reseed the
     # process-global random state per exhibit anyway so any stray global
     # RNG use is deterministic per (seed, exhibit) rather than dependent
@@ -242,22 +258,40 @@ def _pool_worker(
 
     common.set_fast_replay(fast)
     common.set_trace_store(trace_store)
+    common.set_stream_store(stream_store)
     captured = io.StringIO()
     svg_paths: List[str] = []
+    payload: Optional[dict] = None
     start = time.time()
     status, error = STATUS_OK, None
     try:
         with redirect_stdout(captured), exhibit_timeout(timeout_s):
-            data = run_exhibit(name, seed=seed, scale=scale, out_dir=out_dir)
-            if svg_dir:
-                from repro.experiments.charts import render_svg
+            if shard is not None:
+                payload = SHARDED[name].run_shard(shard, seed=seed, scale=scale)
+            else:
+                data = run_exhibit(name, seed=seed, scale=scale, out_dir=out_dir)
+                if svg_dir:
+                    from repro.experiments.charts import render_svg
 
-                svg_paths = [str(p) for p in render_svg(name, data, svg_dir)]
+                    svg_paths = [str(p) for p in render_svg(name, data, svg_dir)]
     except ExhibitTimeoutError as exc:
         status, error = STATUS_TIMEOUT, str(exc)
     except BaseException:
         status, error = STATUS_FAILED, traceback.format_exc()
-    return name, status, time.time() - start, error, svg_paths, captured.getvalue()
+    return (
+        name, shard, status, time.time() - start, error, svg_paths,
+        captured.getvalue(), payload,
+    )
+
+
+def _shard_weight(shard: str) -> int:
+    """Longest-first scheduling weight of one shard (workload op count)."""
+    try:
+        from repro.workloads import get_spec
+
+        return int(get_spec(shard).total_ops)
+    except Exception:
+        return 0
 
 
 def _run_pending_parallel(
@@ -272,17 +306,24 @@ def _run_pending_parallel(
     jobs: int,
     fast: bool,
     trace_store: Optional[str],
+    stream_store: Optional[str],
     echo: Callable[[str], None],
     mp_start_method: Optional[str],
 ) -> Dict[str, ExhibitOutcome]:
-    """Fan ``pending`` exhibits out over a process pool.
+    """Fan ``pending`` exhibits (and their shards) out over a process pool.
 
     The parent is the sole manifest writer: every pending exhibit is
     marked ``running`` up front (preserving the serial manifest's entry
-    order), then marked done as worker results arrive.  Without
-    ``keep_going`` the first failure cancels the not-yet-started exhibits;
-    their placeholder entries are removed again so the manifest matches a
-    serial run that stopped at the failure.
+    order), then marked done as it finishes.  Sharded exhibits
+    (:data:`~repro.experiments.registry.SHARDED`) are expanded into
+    per-workload shard units; all units are submitted longest-first
+    (unsplittable exhibits ahead, then shards by descending workload op
+    count), and an exhibit finishes when its last shard arrives and the
+    parent's deterministic ``merge`` reassembles it.  Without
+    ``keep_going`` the first failing unit cancels the not-yet-started
+    units; exhibits left without a recorded outcome have their
+    placeholder entries removed so the manifest matches a serial run that
+    stopped at the failure.
     """
     context = multiprocessing.get_context(mp_start_method or "spawn")
     fingerprints = {name: exhibit_fingerprint(name, seed, scale) for name in pending}
@@ -296,60 +337,123 @@ def _run_pending_parallel(
             }
         manifest.save()
 
+    # Expand sharded exhibits into units and order everything longest-first.
+    shard_map: Dict[str, List[str]] = {}
+    units: List[Tuple[float, str, Optional[str]]] = []
+    for name in pending:
+        sharding = SHARDED.get(name)
+        shards = list(sharding.shards(seed, scale)) if sharding is not None else []
+        if len(shards) > 1:
+            shard_map[name] = shards
+            for shard in shards:
+                units.append((float(_shard_weight(shard)), name, shard))
+        else:
+            units.append((float("inf"), name, None))
+    units.sort(key=lambda unit: -unit[0])
+
+    shard_payloads: Dict[str, Dict[str, dict]] = {n: {} for n in shard_map}
+    shard_durations: Dict[str, float] = {n: 0.0 for n in shard_map}
+    shard_failures: Dict[str, Tuple[str, Optional[str]]] = {}
     results: Dict[str, ExhibitOutcome] = {}
+    abort = False
+
+    def record(name, status, duration, error, svg_paths, output):
+        nonlocal abort
+        if manifest is not None:
+            manifest.mark_done(name, status, fingerprints[name], duration, error)
+        results[name] = ExhibitOutcome(name, status, duration, error)
+        echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
+        if output.rstrip():
+            echo(output.rstrip())
+        for path in svg_paths:
+            echo(f"(svg) {path}")
+        if status == STATUS_OK:
+            echo(f"--- {name} done in {duration:.1f}s\n")
+        else:
+            echo(f"--- {name} {status.upper()} after {duration:.1f}s")
+            if error:
+                echo(error.rstrip())
+            echo("")
+            if not keep_going:
+                abort = True
+
+    def merge_exhibit(name):
+        """Deterministically reassemble a fully-sharded exhibit (parent)."""
+        captured = io.StringIO()
+        svg_paths: List[str] = []
+        start = time.time()
+        status, error = STATUS_OK, None
+        try:
+            with redirect_stdout(captured):
+                data = SHARDED[name].merge(
+                    shard_payloads[name], seed=seed, scale=scale, out_dir=out_dir
+                )
+            if svg_dir:
+                from repro.experiments.charts import render_svg
+
+                svg_paths = [str(p) for p in render_svg(name, data, svg_dir)]
+        except Exception:
+            status, error = STATUS_FAILED, traceback.format_exc()
+        duration = shard_durations[name] + (time.time() - start)
+        record(name, status, duration, error, svg_paths, captured.getvalue())
+
+    def absorb(result):
+        """Fold one worker result into exhibit-level bookkeeping."""
+        name, shard, status, duration, error, svg_paths, output, payload = result
+        if shard is None:
+            record(name, status, duration, error, svg_paths, output)
+            return
+        shard_durations[name] += duration
+        if name in results:
+            return  # exhibit already failed on an earlier shard
+        if status != STATUS_OK:
+            if name not in shard_failures:
+                shard_failures[name] = (status, f"shard {shard}: {error}")
+                failure_status, failure_error = shard_failures[name]
+                record(name, failure_status, shard_durations[name],
+                       failure_error, [], output)
+            return
+        shard_payloads[name][shard] = payload
+        if len(shard_payloads[name]) == len(shard_map[name]):
+            merge_exhibit(name)
+
     with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         futures = {
             pool.submit(
                 _pool_worker,
-                (name, seed, scale, out_dir, svg_dir, timeout_s, fast, trace_store),
+                (
+                    name, shard, seed, scale, out_dir, svg_dir, timeout_s,
+                    fast, trace_store, stream_store,
+                ),
             ): name
-            for name in pending
+            for _weight, name, shard in units
         }
         not_done = set(futures)
-        abort = False
         while not_done and not abort:
             done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
             for future in done:
-                name, status, duration, error, svg_paths, output = future.result()
-                if manifest is not None:
-                    manifest.mark_done(
-                        name, status, fingerprints[name], duration, error
-                    )
-                results[name] = ExhibitOutcome(name, status, duration, error)
-                echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
-                if output.rstrip():
-                    echo(output.rstrip())
-                for path in svg_paths:
-                    echo(f"(svg) {path}")
-                if status == STATUS_OK:
-                    echo(f"--- {name} done in {duration:.1f}s\n")
-                else:
-                    echo(f"--- {name} {status.upper()} after {duration:.1f}s")
-                    if error:
-                        echo(error.rstrip())
-                    echo("")
-                    if not keep_going:
-                        abort = True
+                absorb(future.result())
         if abort:
-            cancelled = [
-                futures[future] for future in not_done if future.cancel()
-            ]
-            # In-flight exhibits finish (their dumps stay valid); record them.
             for future in not_done:
-                if future.cancelled():
-                    continue
-                name, status, duration, error, svg_paths, output = future.result()
-                if manifest is not None:
-                    manifest.mark_done(
-                        name, status, fingerprints[name], duration, error
-                    )
-                results[name] = ExhibitOutcome(name, status, duration, error)
-            if manifest is not None and cancelled:
-                # Unattempted exhibits are absent from a serial manifest;
-                # drop their placeholder entries.
-                for name in cancelled:
+                future.cancel()
+            # In-flight units finish (their dumps/payloads stay valid);
+            # record whatever completes into whole exhibits.
+            for future in not_done:
+                if not future.cancelled():
+                    absorb(future.result())
+            for name in shard_map:
+                if name not in results and len(shard_payloads[name]) == len(
+                    shard_map[name]
+                ):
+                    merge_exhibit(name)
+            if manifest is not None:
+                # Exhibits with no recorded outcome were never attempted
+                # end-to-end; a serial manifest has no entry for them.
+                dropped = [n for n in pending if n not in results]
+                for name in dropped:
                     manifest.exhibits.pop(name, None)
-                manifest.save()
+                if dropped:
+                    manifest.save()
     return results
 
 
@@ -366,6 +470,7 @@ def run_exhibits(
     jobs: int = 1,
     fast: bool = False,
     trace_store: Optional[str] = None,
+    stream_store: Optional[str] = None,
     mp_start_method: Optional[str] = None,
 ) -> List[ExhibitOutcome]:
     """Run ``names`` with isolation, checkpointing, resume and parallelism.
@@ -379,13 +484,20 @@ def run_exhibits(
 
     Args:
         jobs: Worker process count; ``1`` replays the classic serial path.
-            Exhibit JSON output is byte-identical either way.
+            With ``jobs > 1`` sharded exhibits split into per-workload
+            units scheduled longest-first.  Exhibit JSON output is
+            byte-identical either way.
         fast: Replay exhibits through the vectorized batch kernel
             (:mod:`repro.core.batch`; exact, so output is unchanged).
         trace_store: Directory of a persistent compiled-trace store
             (:mod:`repro.trace.store`); synthesized workload traces are
             compiled there on first use and loaded back on later runs.
             Exact, so output is unchanged; ``None`` disables.
+        stream_store: Directory of a persistent stream store
+            (:mod:`repro.core.stream_store`); recorded fragment streams
+            and NoLS baselines are published there once machine-wide and
+            memory-mapped by every other process.  Exact, so output is
+            unchanged; ``None`` disables.
         mp_start_method: multiprocessing start method for ``jobs > 1``
             (default ``"spawn"`` for hermetic workers; tests use
             ``"fork"`` to exercise failure injection).
@@ -425,8 +537,8 @@ def run_exhibits(
                 pending.append(name)
         results = _run_pending_parallel(
             pending, manifest, seed, scale, out_dir, svg_dir,
-            keep_going, timeout_s, jobs, fast, trace_store, echo,
-            mp_start_method,
+            keep_going, timeout_s, jobs, fast, trace_store, stream_store,
+            echo, mp_start_method,
         )
         return [
             outcome
@@ -439,9 +551,12 @@ def run_exhibits(
 
     previous_fast = common.fast_replay_default()
     previous_store = common.trace_store()
+    previous_stream_store = common.stream_store()
     common.set_fast_replay(fast)
     if trace_store is not None:
         common.set_trace_store(trace_store)
+    if stream_store is not None:
+        common.set_stream_store(stream_store)
     outcomes: List[ExhibitOutcome] = []
     try:
         for name in names:
@@ -492,6 +607,8 @@ def run_exhibits(
         common.set_fast_replay(previous_fast)
         if trace_store is not None:
             common.set_trace_store(previous_store)
+        if stream_store is not None:
+            common.set_stream_store(previous_stream_store)
     return outcomes
 
 

@@ -32,7 +32,15 @@ exhibits running in one process (serial ``all`` runs, one pool worker
 handling several exhibits) share baselines and recorded streams.  Traces
 themselves still come from :func:`~repro.experiments.common.
 workload_trace`, which consults the compiled-trace store — parallel
-workers therefore stop re-parsing once the store is primed.
+workers therefore stop re-parsing once the store is primed.  When a
+persistent :class:`~repro.core.stream_store.StreamStore` is active
+(:func:`~repro.experiments.common.set_stream_store` or the constructor
+argument), recorded streams and NoLS baselines are shared **across
+processes** too: the first worker to need a stream records and publishes
+it, everyone else memory-maps the published arrays zero-copy.  The
+in-memory LRU — keyed by :meth:`~repro.trace.trace.Trace.content_key`,
+so logically identical traces from different load paths share one entry
+— stays in front of the store.
 """
 
 from __future__ import annotations
@@ -74,6 +82,10 @@ class SweepEngine:
             stream is a few arrays the size of the access stream, so two
             in flight comfortably covers exhibits that interleave a
             couple of workloads.
+        stream_store: Persistent stream store to share recordings and
+            NoLS baselines across processes, or None to defer to the
+            process-wide store (:func:`~repro.experiments.common.
+            set_stream_store`).
     """
 
     def __init__(
@@ -82,6 +94,7 @@ class SweepEngine:
         scale: float = 1.0,
         fast: Optional[bool] = None,
         max_streams: int = 2,
+        stream_store=None,
     ) -> None:
         if max_streams < 1:
             raise ValueError(f"max_streams must be >= 1, got {max_streams}")
@@ -89,9 +102,12 @@ class SweepEngine:
         self.scale = scale
         self._fast = fast
         self._max_streams = max_streams
-        # id(trace) -> (trace, stream, {block_sectors: thresholds}); the
-        # strong trace reference keeps the id stable while the entry lives.
-        self._streams: "OrderedDict[int, tuple]" = OrderedDict()
+        self._stream_store_override = stream_store
+        # trace.content_key() -> (stream, {block_sectors: thresholds});
+        # the content key survives re-loads of the same workload, so a
+        # trace reaching this engine through a different path (fresh
+        # synthesis vs compiled-store mmap) still hits the same entry.
+        self._streams: "OrderedDict[str, tuple]" = OrderedDict()
         self._baselines: Dict[str, SimStats] = {}
         self.streams_recorded = 0
 
@@ -111,34 +127,65 @@ class SweepEngine:
         """The workload trace (memoized + compiled-store-backed)."""
         return workload_trace(name, self.seed, self.scale)
 
+    def stream_store(self):
+        """The effective :class:`StreamStore` (constructor override wins)."""
+        if self._stream_store_override is not None:
+            return self._stream_store_override
+        from repro.experiments import common
+
+        return common.stream_store()
+
     def stream_for(self, trace: Trace) -> FragmentStream:
-        """The recorded fragment-access stream of ``trace`` (memoized)."""
-        key = id(trace)
+        """The recorded fragment-access stream of ``trace`` (memoized).
+
+        Lookup order: in-memory LRU, then the persistent stream store
+        (zero-copy mmap hit), then a fresh recording — which is published
+        to the store so no other process pays it again.
+        """
+        key = trace.content_key()
         entry = self._streams.get(key)
         if entry is not None:
             self._streams.move_to_end(key)
-            return entry[1]
-        stream = record_fragment_stream(trace)
-        self.streams_recorded += 1
-        self._streams[key] = (trace, stream, {})
+            return entry[0]
+        store = self.stream_store()
+        stream = store.load_stream(trace) if store is not None else None
+        if stream is None:
+            stream = record_fragment_stream(trace)
+            self.streams_recorded += 1
+            if store is not None:
+                store.store_stream(trace, stream)
+        self._streams[key] = (stream, {})
         while len(self._streams) > self._max_streams:
             self._streams.popitem(last=False)
         return stream
 
     def _thresholds(self, trace: Trace, stream: FragmentStream, block_sectors: int):
         """Stack-distance thresholds for ``stream``, memoized per entry."""
-        entry = self._streams.get(id(trace))
-        cache = entry[2] if entry is not None else {}
+        entry = self._streams.get(trace.content_key())
+        cache = entry[1] if entry is not None else {}
         if block_sectors not in cache:
             cache[block_sectors] = cache_hit_thresholds(stream, block_sectors)
         return cache[block_sectors]
 
     def baseline(self, name: str) -> SimStats:
-        """The workload's NoLS baseline stats (replayed once per engine)."""
+        """The workload's NoLS baseline stats (replayed once per engine).
+
+        Under fast replay the persistent stream store is consulted first
+        and primed after a compute; the reference path (fast off) never
+        touches the store, so reference runs stay purely reference.
+        """
         stats = self._baselines.get(name)
+        if stats is not None:
+            return stats
+        store = self.stream_store() if self.fast_enabled() else None
+        trace = self.trace(name) if store is not None else None
+        if store is not None:
+            stats = store.load_baseline(trace)
         if stats is None:
             stats = self.replay(self.trace(name), NOLS).stats
-            self._baselines[name] = stats
+            if store is not None:
+                store.store_baseline(trace, stats)
+        self._baselines[name] = stats
         return stats
 
     # ----------------------------------------------------------------- #

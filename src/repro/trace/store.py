@@ -8,14 +8,24 @@ the *parsed columns* on disk: one ``.npz`` per (source, parse options)
 combination holding the four column arrays plus a JSON header with
 everything needed for correct invalidation.
 
-Store layout::
+Store layout (schema 2 — zero-copy)::
 
-    <root>/<sha256-of-meta>.npz
-        timestamp  float64[n]      is_read  bool[n]
-        lba        int64[n]        length   int64[n]
-        header     uint8[...]      (UTF-8 JSON: schema, meta, name, report)
+    <root>/<sha256-of-meta>/
+        header.json     (schema, meta, name, ops, report)
+        timestamp.npy   float64[n]      is_read.npy  bool[n]
+        lba.npy         int64[n]        length.npy   int64[n]
 
-The file name is the SHA-256 of the canonical JSON of the entry's **meta**
+Each column is a plain page-aligned ``.npy`` (data section at a 4096-byte
+offset; see :mod:`repro.util.npystore`), loaded with
+``np.load(mmap_mode="r")`` — a hit costs no deserialization and no heap
+copy, and every process mapping the same entry shares the OS page cache.
+Loaded columns are **read-only** (``writeable=False``) views; a stray
+in-place mutation raises instead of silently poisoning the shared entry.
+(Schema 1 packed the columns into one ``.npz``, which numpy cannot mmap;
+old entries are simply never matched by the schema-2 paths and can be
+removed with :meth:`TraceStore.clear`.)
+
+The directory name is the SHA-256 of the canonical JSON of the entry's **meta**
 — the complete identity of a parse: trace kind, format, parse policy and
 arguments, ``COLUMNAR_PARSER_VERSION``, and (for file sources) the SHA-256
 and size of the source bytes.  Any change to the source file, the parse
@@ -28,28 +38,25 @@ verbatim, and the full :class:`~repro.trace.errors.ParseReport` (counters,
 error samples, quarantine) is restored on load.  ``strict``-failing inputs
 never reach the store (the parse raises first).
 
-Writes are crash-safe (temp file + ``os.replace``, the
-:mod:`repro.util.io` pattern); a torn or corrupt entry is treated as a
-miss and deleted.
+Writes are crash-safe (temp directory + atomic rename, the
+:mod:`repro.util.npystore` pattern); a torn or corrupt entry is treated
+as a miss and deleted, so the caller's re-store heals it.
 """
 
 from __future__ import annotations
 
 import hashlib
-import io
 import json
-import os
 from pathlib import Path
 from typing import Optional, Union
-
-import numpy as np
 
 import repro
 from repro.trace.columnar import COLUMNAR_PARSER_VERSION, ColumnarTrace, TraceColumns
 from repro.trace.errors import ParseIssue, ParseReport
 from repro.trace.trace import Trace
+from repro.util.npystore import commit_entry_dir, load_mmap_npy, remove_entry
 
-STORE_SCHEMA = 1
+STORE_SCHEMA = 2
 
 #: Default store location (overridable per :class:`TraceStore` instance and
 #: via the runner's ``--trace-store`` flag).
@@ -180,8 +187,8 @@ class TraceStore:
     """A directory of compiled (pre-parsed) traces, keyed by parse meta.
 
     Thread/process-safe for concurrent readers and writers of *different*
-    entries; concurrent writers of the *same* entry are benign (last
-    ``os.replace`` wins with identical content).
+    entries; concurrent writers of the *same* entry are benign (the first
+    atomic rename wins and the entries are identical by construction).
     """
 
     def __init__(self, root: Union[str, Path] = DEFAULT_STORE_DIR) -> None:
@@ -192,26 +199,38 @@ class TraceStore:
         self.misses = 0
 
     def path_for(self, meta: dict) -> Path:
-        return self.root / f"{meta_key(meta)}.npz"
+        return self.root / meta_key(meta)
 
     def load(self, meta: dict) -> Optional[Trace]:
         """Return the compiled trace for ``meta``, or None on a miss.
 
-        A corrupt/torn entry (interrupted write, foreign file) counts as a
-        miss and is removed so the caller's re-store can heal it.
+        Hits are **zero-copy**: each column is an ``np.load(mmap_mode="r")``
+        view of its page-aligned ``.npy``, marked ``writeable=False`` before
+        it is handed to :class:`TraceColumns` (which preserves the mmap —
+        ``ascontiguousarray`` on an already-contiguous matching-dtype array
+        is a no-op view).  A corrupt/torn entry (interrupted write, foreign
+        files, schema drift) counts as a miss and is removed so the
+        caller's re-store can heal it.
         """
         path = self.path_for(meta)
         try:
-            with np.load(path) as archive:
-                header = json.loads(bytes(archive["header"]).decode())
-                if header.get("schema") != STORE_SCHEMA or header.get("meta") != meta:
-                    raise ValueError("store entry header mismatch")
-                columns = TraceColumns(*(archive[k] for k in _COLUMN_KEYS))
+            with open(path / "header.json") as handle:
+                header = json.load(handle)
+            if header.get("schema") != STORE_SCHEMA or header.get("meta") != meta:
+                raise ValueError("store entry header mismatch")
+            raw = []
+            for key in _COLUMN_KEYS:
+                column = load_mmap_npy(path / f"{key}.npy")
+                column.setflags(write=False)
+                raw.append(column)
+            if len({len(c) for c in raw}) > 1 or len(raw[0]) != header.get("ops"):
+                raise ValueError("store entry column length mismatch")
+            columns = TraceColumns(*raw)
         except FileNotFoundError:
             self.misses += 1
             return None
         except Exception:
-            path.unlink(missing_ok=True)
+            remove_entry(path)
             self.misses += 1
             return None
         self.hits += 1
@@ -221,40 +240,34 @@ class TraceStore:
 
     def store(self, trace: Trace, meta: dict) -> Path:
         """Compile ``trace`` into the store under ``meta``; returns the path."""
-        self.root.mkdir(parents=True, exist_ok=True)
         columns = TraceColumns.from_trace(trace)
         header = {
             "schema": STORE_SCHEMA,
             "meta": meta,
             "name": trace.name,
+            "ops": len(columns.lba),
             "report": report_to_dict(trace.parse_report),
         }
-        header_bytes = np.frombuffer(
-            json.dumps(header, sort_keys=True).encode(), dtype=np.uint8
+        return commit_entry_dir(
+            self.path_for(meta),
+            {key: getattr(columns, key) for key in _COLUMN_KEYS},
+            header,
         )
-        buffer = io.BytesIO()
-        np.savez(
-            buffer,
-            header=header_bytes,
-            **{k: getattr(columns, k) for k in _COLUMN_KEYS},
-        )
-        path = self.path_for(meta)
-        tmp = path.with_name(path.name + f".{os.getpid()}.tmp")
-        try:
-            with open(tmp, "wb") as handle:
-                handle.write(buffer.getvalue())
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
-        return path
 
     def entries(self):
-        """The store's entry paths (empty if the directory doesn't exist)."""
+        """The store's entry paths (empty if the directory doesn't exist).
+
+        Includes legacy schema-1 ``.npz`` files so :meth:`clear` purges
+        them too; ``load`` never matches them (entries are directories).
+        """
         if not self.root.is_dir():
             return []
-        return sorted(self.root.glob("*.npz"))
+        return sorted(
+            path
+            for path in self.root.iterdir()
+            if not path.name.endswith(".tmp")
+            and (path.is_dir() or path.suffix == ".npz")
+        )
 
     def __len__(self) -> int:
         return len(self.entries())
@@ -263,7 +276,7 @@ class TraceStore:
         """Delete every entry; returns the number removed."""
         removed = 0
         for path in self.entries():
-            path.unlink(missing_ok=True)
+            remove_entry(path)
             removed += 1
         return removed
 

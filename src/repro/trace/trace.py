@@ -106,6 +106,36 @@ class Trace:
             self._arrays = columns
         return self._arrays
 
+    def content_key(self) -> str:
+        """SHA-256 identity of the replay-relevant content, cached.
+
+        Hashes the name plus the ``(is_read, lba, length)`` columns —
+        everything a replay or recorded fragment stream can observe.
+        Timestamps are deliberately excluded (no simulator path reads
+        them), so e.g. a re-parsed trace with jittered completion stamps
+        still shares recorded streams.  Two traces with equal keys produce
+        bit-identical replay results under every configuration; the
+        persistent :class:`~repro.core.stream_store.StreamStore` and the
+        :class:`~repro.experiments.sweep.SweepEngine` stream LRU key on
+        this, so logically identical traces from different load paths
+        (fresh synthesis, compiled-store mmap, re-parse) share one
+        recording.
+        """
+        key = getattr(self, "_content_key", None)
+        if key is None:
+            import hashlib
+
+            import numpy as np
+
+            is_read, lba, length = self.as_arrays()
+            digest = hashlib.sha256()
+            digest.update(f"{self._name}\x00{len(self)}\x00".encode())
+            for column in (is_read, lba, length):
+                digest.update(np.ascontiguousarray(column).tobytes())
+            key = digest.hexdigest()
+            self._content_key = key
+        return key
+
     def timestamps(self):
         """The per-request timestamp column as a read-only float64 array."""
         if self._timestamps is None:

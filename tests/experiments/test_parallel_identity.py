@@ -1,0 +1,134 @@
+"""Exhibit JSON is byte-identical across every execution configuration.
+
+The PR-5 contract: the grid-sharded parallel runner, the vectorized fast
+path, and the persistent trace/stream stores are *unobservable* in the
+results.  These tests run real (workload-reduced) exhibits through the
+full matrix — {reference, fast} x {jobs=1, jobs=4} x {cold, warm stream
+store} — and assert every cell writes the same bytes, and that a warm
+store means each workload's fragment stream is never re-recorded.
+
+The pool uses the ``fork`` start method so the workload-set monkeypatches
+survive into the workers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import common, fig4, fig5, fig11
+from repro.experiments.runner import run_exhibits
+from repro.experiments.sweep import reset_sweep_engines
+
+QUIET = {"echo": lambda s: None}
+SEED, SCALE = 42, 0.05
+
+
+@pytest.fixture(autouse=True)
+def _clean_state(monkeypatch):
+    """Small workload sets, and no shared replay state leaking either way."""
+    monkeypatch.setattr(fig4, "FIG4_WORKLOADS", ("usr_0", "src2_2"))
+    monkeypatch.setattr(fig5, "FIG5_WORKLOADS", ("usr_0", "hm_1"))
+    monkeypatch.setattr(fig11, "MSR_WORKLOADS", ("hm_1",))
+    monkeypatch.setattr(fig11, "CLOUDPHYSICS_WORKLOADS", ("w91",))
+    common.set_fast_replay(False)
+    common.set_trace_store(None)
+    common.set_stream_store(None)
+    common.clear_trace_cache()
+    reset_sweep_engines()
+    yield
+    common.set_fast_replay(False)
+    common.set_trace_store(None)
+    common.set_stream_store(None)
+    common.clear_trace_cache()
+    reset_sweep_engines()
+
+
+def _dumps(out_dir) -> dict:
+    return {
+        path.name: path.read_bytes()
+        for path in sorted(Path(out_dir).glob("*.json"))
+        if path.name != "run.json"
+    }
+
+
+def _run(names, out_dir, jobs, fast, stream_store=None):
+    outcomes = run_exhibits(
+        names,
+        seed=SEED,
+        scale=SCALE,
+        out_dir=str(out_dir),
+        jobs=jobs,
+        fast=fast,
+        stream_store=stream_store,
+        mp_start_method="fork" if jobs > 1 else None,
+        **QUIET,
+    )
+    bad = [(o.name, o.status, o.error) for o in outcomes if not o.ok]
+    assert not bad, bad
+    return _dumps(out_dir)
+
+
+def test_full_matrix_is_byte_identical(tmp_path):
+    names = ["fig4", "fig11"]
+    store = str(tmp_path / "stream-store")
+    reference = _run(names, tmp_path / "ref1", jobs=1, fast=False)
+    cells = {
+        "ref_jobs4": _run(names, tmp_path / "ref4", jobs=4, fast=False),
+        "fast_jobs1_cold": _run(names, tmp_path / "f1c", jobs=1, fast=True),
+        "fast_jobs4_cold": _run(
+            names, tmp_path / "f4c", jobs=4, fast=True, stream_store=store
+        ),
+        "fast_jobs4_warm": _run(
+            names, tmp_path / "f4w", jobs=4, fast=True, stream_store=store
+        ),
+        "fast_jobs1_warm": _run(
+            names, tmp_path / "f1w", jobs=1, fast=True, stream_store=store
+        ),
+    }
+    assert set(reference) == {"fig4.json", "fig11.json"}
+    for cell, dumps in cells.items():
+        assert dumps == reference, f"{cell} diverged from the serial reference"
+
+
+def test_warm_store_records_each_stream_at_most_once(tmp_path, monkeypatch):
+    """With a primed store, no process ever re-records a fragment stream —
+    including pool workers (fork propagates the poisoned recorder) and
+    workloads shared across exhibits (fig4 and fig5 both replay usr_0)."""
+    from repro.core.stream_store import StreamStore
+
+    names = ["fig4", "fig5"]
+    root = tmp_path / "stream-store"
+    _run(names, tmp_path / "cold", jobs=4, fast=True, stream_store=str(root))
+
+    # One published stream entry per distinct workload (dirs; baselines
+    # are *.nols.json files).
+    workloads = set(fig4.FIG4_WORKLOADS) | set(fig5.FIG5_WORKLOADS)
+    stream_entries = [p for p in root.iterdir() if p.is_dir()]
+    assert len(stream_entries) == len(workloads)
+
+    def boom(*args, **kwargs):
+        raise AssertionError("stream re-recorded despite a warm store")
+
+    monkeypatch.setattr("repro.experiments.sweep.record_fragment_stream", boom)
+    warm = _run(names, tmp_path / "warm4", jobs=4, fast=True, stream_store=str(root))
+    assert warm == _dumps(tmp_path / "cold")
+
+    # Serially (in-process) the store counters are observable: everything
+    # is a hit, nothing is a miss.
+    store = StreamStore(root)
+    common.clear_trace_cache()
+    reset_sweep_engines()
+    run_exhibits(
+        names,
+        seed=SEED,
+        scale=SCALE,
+        out_dir=str(tmp_path / "warm1"),
+        jobs=1,
+        fast=True,
+        stream_store=store,
+        **QUIET,
+    )
+    assert store.misses == 0
+    assert store.hits >= len(workloads)

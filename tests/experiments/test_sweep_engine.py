@@ -27,11 +27,13 @@ def _clean_state():
     """Each test starts and ends with no shared replay state."""
     common.set_fast_replay(False)
     common.set_trace_store(None)
+    common.set_stream_store(None)
     common.clear_trace_cache()
     reset_sweep_engines()
     yield
     common.set_fast_replay(False)
     common.set_trace_store(None)
+    common.set_stream_store(None)
     common.clear_trace_cache()
     reset_sweep_engines()
 
@@ -112,9 +114,65 @@ class TestTraceStoreIntegration:
         trace = synthesize_workload("hm_1", seed=SEED, scale=0.01)
         meta = synthetic_meta("hm_1", SEED, 0.01)
         path = store.store(trace, meta)
-        path.write_bytes(b"torn write")
+        (path / "header.json").write_text("torn write")
         assert store.load(meta) is None
         assert (store.hits, store.misses) == (0, 1)
+
+
+class TestStreamStoreIntegration:
+    def test_lru_keyed_by_content_not_object_identity(self):
+        """Two loads of the same workload share one recorded stream."""
+        engine = SweepEngine(seed=SEED, scale=SCALE, fast=True)
+        first = synthesize_workload("hm_1", seed=SEED, scale=SCALE)
+        second = synthesize_workload("hm_1", seed=SEED, scale=SCALE)
+        assert first is not second
+        engine.stream_for(first)
+        engine.stream_for(second)
+        assert engine.streams_recorded == 1
+        assert len(engine._streams) == 1
+
+    def test_store_serves_streams_across_engines(self, tmp_path):
+        from repro.core.stream_store import StreamStore
+
+        store = StreamStore(tmp_path / "streams")
+        trace = synthesize_workload("hm_1", seed=SEED, scale=SCALE)
+
+        cold = SweepEngine(seed=SEED, scale=SCALE, fast=True, stream_store=store)
+        recorded = cold.stream_for(trace)
+        assert cold.streams_recorded == 1
+        assert (store.hits, store.misses) == (0, 1)
+
+        warm = SweepEngine(seed=SEED, scale=SCALE, fast=True, stream_store=store)
+        loaded = warm.stream_for(trace)
+        assert warm.streams_recorded == 0, "the store must serve this"
+        assert (store.hits, store.misses) == (1, 1)
+        assert loaded.pba.tolist() == recorded.pba.tolist()
+        assert loaded.group_start.tolist() == recorded.group_start.tolist()
+
+    def test_store_serves_baselines_across_engines(self, tmp_path):
+        from repro.core.stream_store import StreamStore
+
+        store = StreamStore(tmp_path / "streams")
+        cold = SweepEngine(seed=SEED, scale=SCALE, fast=True, stream_store=store)
+        stats = cold.baseline("hm_1")
+        assert (store.baseline_hits, store.baseline_misses) == (0, 1)
+
+        warm = SweepEngine(seed=SEED, scale=SCALE, fast=True, stream_store=store)
+        assert warm.baseline("hm_1") == stats
+        assert (store.baseline_hits, store.baseline_misses) == (1, 1)
+
+    def test_reference_engine_never_consults_the_store(self, tmp_path):
+        from repro.core.stream_store import StreamStore
+
+        store = StreamStore(tmp_path / "streams")
+        primer = SweepEngine(seed=SEED, scale=SCALE, fast=True, stream_store=store)
+        primer.baseline("hm_1")
+
+        reference = SweepEngine(
+            seed=SEED, scale=SCALE, fast=False, stream_store=store
+        )
+        reference.baseline("hm_1")
+        assert store.baseline_hits == 0, "reference path must stay store-free"
 
 
 class TestByteIdenticalExhibits:

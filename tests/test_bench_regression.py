@@ -65,6 +65,24 @@ def _sweep_report(fig11_speedup=8.0, cache_speedup=20.0, **kwargs):
     return report
 
 
+def _jobs_report(warm_jobs4_speedup=3.5, **kwargs):
+    report = _report(**kwargs)
+    report["results"]["jobs_scaling"] = {
+        "exhibits": ["table1", "fig2"],
+        "scale": 1.0,
+        "jobs": 4,
+        "cpu_count": 1,
+        "reference": {"seconds": 35.0},
+        "cold_jobs4": {"seconds": 40.0, "speedup_vs_reference": 0.88},
+        "warm_jobs1": {"seconds": 10.0, "speedup_vs_reference": 3.5},
+        "warm_jobs4": {
+            "seconds": round(35.0 / warm_jobs4_speedup, 4),
+            "speedup_vs_reference": warm_jobs4_speedup,
+        },
+    }
+    return report
+
+
 def _verdicts(current, baseline, tolerance=0.2, min_speedup=3.0):
     return list(check_regression.check(current, baseline, tolerance, min_speedup))
 
@@ -196,6 +214,40 @@ class TestSweepGates:
         assert all(ok for ok, _ in verdicts)
 
 
+class TestJobsScalingGate:
+    """The end-to-end exhibit gate engages only when the report carries a
+    ``jobs_scaling`` entry, like the other optional gates."""
+
+    def test_report_without_jobs_scaling_emits_no_gate(self):
+        verdicts = _verdicts(_report(), _report())
+        assert not any("jobs_scaling" in m for _, m in verdicts)
+
+    def test_healthy_warm_speedup_passes(self):
+        verdicts = _verdicts(_jobs_report(), _jobs_report())
+        assert all(ok for ok, _ in verdicts)
+        assert any("jobs_scaling" in m and "warm_jobs4" in m for _, m in verdicts)
+
+    def test_warm_speedup_below_floor_fails(self):
+        verdicts = _verdicts(_jobs_report(warm_jobs4_speedup=2.4), _jobs_report())
+        failures = [m for ok, m in verdicts if not ok]
+        assert any("warm_jobs4" in m and "speedup" in m for m in failures)
+
+    def test_cell_timings_gate_like_any_other(self):
+        current = _jobs_report()
+        current["results"]["jobs_scaling"]["warm_jobs1"]["seconds"] = 30.0
+        failures = [m for ok, m in _verdicts(current, _jobs_report()) if not ok]
+        assert any("jobs_scaling.warm_jobs1" in m for m in failures)
+
+    def test_custom_floor_is_respected(self):
+        report = _jobs_report(warm_jobs4_speedup=2.0)
+        verdicts = list(
+            check_regression.check(
+                report, report, 0.2, 3.0, min_jobs_scaling_speedup=1.5
+            )
+        )
+        assert all(ok for ok, _ in verdicts)
+
+
 class TestMain:
     def test_exit_zero_on_pass_and_one_on_fail(self, tmp_path, capsys):
         current = tmp_path / "current.json"
@@ -229,4 +281,7 @@ class TestMain:
         assert results["sweep_fig11"]["sweep"]["speedup_vs_reference"] >= 5.0
         assert (
             results["sweep_cache_ablation"]["sweep"]["speedup_vs_reference"] >= 10.0
+        )
+        assert (
+            results["jobs_scaling"]["warm_jobs4"]["speedup_vs_reference"] >= 2.5
         )

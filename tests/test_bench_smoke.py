@@ -26,6 +26,7 @@ EXPECTED_BENCHMARKS = (
     "sweep_cache_ablation",
     "ingest_msr",
     "analysis_nols",
+    "jobs_scaling",
 )
 
 #: Which non-reference side(s) each benchmark reports a speedup on.
@@ -38,6 +39,7 @@ FAST_SIDES = {
     "sweep_cache_ablation": ("sweep",),
     "ingest_msr": ("columnar", "warm_store"),
     "analysis_nols": ("fast",),
+    "jobs_scaling": ("cold_jobs4", "warm_jobs1", "warm_jobs4"),
 }
 
 
@@ -56,6 +58,9 @@ def test_every_benchmark_runs_at_smoke_scale(tmp_path):
     assert results["sweep_cache_ablation"]["configs"] == len(
         bench_kernels.CACHE_SWEEP_MIB
     )
+    # jobs_scaling covers every paper exhibit end to end.
+    assert results["jobs_scaling"]["exhibits"] == list(bench_kernels.PAPER_EXHIBITS)
+    assert results["jobs_scaling"]["jobs"] == 4
 
     # And the CLI wrapper must serialize it as valid JSON.
     out = tmp_path / "smoke.json"

@@ -151,25 +151,62 @@ class TestHitsAndMisses:
 
 
 class TestCorruption:
-    def test_corrupt_entry_is_a_miss_and_removed(self, source, store):
+    def test_corrupt_header_is_a_miss_and_removed(self, source, store):
         meta = file_meta(source, "csv", policy="lenient")
         load_trace(source, "csv", store=store, policy="lenient")
         path = store.path_for(meta)
-        path.write_bytes(b"not an npz archive")
+        (path / "header.json").write_text("not json")
         assert store.load(meta) is None
         assert not path.exists()
         # The next load_trace heals the entry.
         trace = load_trace(source, "csv", store=store, policy="lenient")
         assert len(trace) == 3 and path.exists()
 
+    def test_torn_column_is_a_miss_and_removed(self, source, store):
+        meta = file_meta(source, "csv", policy="lenient")
+        load_trace(source, "csv", store=store, policy="lenient")
+        path = store.path_for(meta)
+        # Simulate a torn write: the column file exists but is not a
+        # complete .npy (a crash between publish steps cannot produce
+        # this — commits are tmp-dir+rename — but disks happen).
+        (path / "lba.npy").write_bytes(b"torn")
+        assert store.load(meta) is None
+        assert not path.exists()
+        trace = load_trace(source, "csv", store=store, policy="lenient")
+        assert len(trace) == 3 and path.exists()
+
+    def test_truncated_column_is_a_miss_and_removed(self, source, store):
+        meta = file_meta(source, "csv", policy="lenient")
+        load_trace(source, "csv", store=store, policy="lenient")
+        path = store.path_for(meta)
+        # A valid .npy holding the wrong number of rows (header 'ops'
+        # disagrees) must not be served.
+        lba = path / "lba.npy"
+        data = lba.read_bytes()
+        lba.write_bytes(data[:-8])
+        assert store.load(meta) is None
+        assert not path.exists()
+
     def test_header_meta_mismatch_is_a_miss(self, source, store):
         meta = file_meta(source, "csv", policy="lenient")
         other = file_meta(source, "csv", policy="quarantine")
         load_trace(source, "csv", store=store, policy="lenient")
         # A foreign entry squatting on another key must not be served.
-        shutil.copy(store.path_for(meta), store.path_for(other))
+        shutil.copytree(store.path_for(meta), store.path_for(other))
         assert store.load(other) is None
         assert not store.path_for(other).exists()
+
+    def test_foreign_schema_is_a_miss(self, source, store):
+        import json
+
+        meta = file_meta(source, "csv", policy="lenient")
+        load_trace(source, "csv", store=store, policy="lenient")
+        path = store.path_for(meta)
+        header = json.loads((path / "header.json").read_text())
+        header["schema"] = store_mod.STORE_SCHEMA + 1
+        (path / "header.json").write_text(json.dumps(header))
+        assert store.load(meta) is None
+        assert not path.exists()
 
     def test_clear_empties_the_store(self, source, store):
         load_trace(source, "csv", store=store, policy="lenient")
