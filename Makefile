@@ -12,7 +12,7 @@ export PYTHONPATH := src
 COV_FLAGS := $(shell $(PYTHON) -c "import pytest_cov" 2>/dev/null && echo --cov=repro --cov-fail-under=85)
 XDIST_FLAGS := $(shell $(PYTHON) -c "import xdist" 2>/dev/null && echo -n auto)
 
-.PHONY: install test test-fast smoke bench bench-smoke bench-micro experiments charts lint-clean all
+.PHONY: install test test-fast smoke serve-smoke bench bench-smoke bench-micro experiments charts lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,14 @@ test-fast:
 smoke:
 	$(PYTHON) -m repro.experiments all --scale 0.05 --out /tmp/smoke --keep-going
 	$(PYTHON) -m repro.experiments all --scale 0.05 --out /tmp/smoke --keep-going --resume
+
+# Service chaos smoke: boot the streaming daemon, stream three concurrent
+# tenants (~10k ops total), SIGKILL one worker mid-stream and corrupt
+# another's newest checkpoint, then assert every tenant's recovered stats
+# equal an offline one-shot replay exactly and the shutdown is clean.
+# The same run gates tier-1 via tests/test_serve_smoke.py (hard watchdog).
+serve-smoke:
+	$(PYTHON) -m repro serve-smoke
 
 # Replay-kernel macro-benchmark + regression gate: writes BENCH_core.json
 # and fails on >20% slowdown vs the checked-in BENCH_baseline.json or a

@@ -1,0 +1,126 @@
+"""Micro-benchmarks of the streaming service's durability hot paths.
+
+The service's steady-state cost is journal-then-apply per batch plus a
+periodic checkpoint; its recovery cost is newest-checkpoint load plus
+journal-tail replay.  These benchmarks pin all three so a regression in
+the WAL framing, the checkpoint codec, or the resumable kernel shows up
+independently of the asyncio/transport layers (which are dominated by
+fsync and scheduling noise, not compute).
+"""
+
+import itertools
+import shutil
+
+import numpy as np
+
+from repro.core.config import LS_ALL
+from repro.service.session import ReplaySession
+
+OPS = 20_000
+BATCH_OPS = 200
+CAPACITY = 1 << 20
+
+
+def _columns(n_ops=OPS, capacity=CAPACITY, seed=5):
+    rng = np.random.default_rng(seed)
+    length = rng.integers(1, 33, size=n_ops).astype(np.int64)
+    lba = rng.integers(0, capacity - 33, size=n_ops).astype(np.int64)
+    is_read = rng.random(n_ops) < 0.5
+    is_read[0] = False  # lead with a write so reads land on mapped space too
+    return is_read, lba, length
+
+
+def _apply_all(session, columns, batch_ops=BATCH_OPS):
+    is_read, lba, length = columns
+    seq = session.applied_seq
+    for start in range(0, len(lba), batch_ops):
+        stop = start + batch_ops
+        seq += 1
+        session.apply_batch(
+            seq, is_read[start:stop], lba[start:stop], length[start:stop]
+        )
+    return seq
+
+
+def test_bench_session_journaled_apply(benchmark, tmp_path):
+    """Steady-state ingest: journal fsync + resumable-kernel apply."""
+    columns = _columns()
+    roots = itertools.count()
+
+    def run():
+        session = ReplaySession.create(
+            "bench",
+            tmp_path / f"t{next(roots)}",
+            LS_ALL,
+            CAPACITY,
+            checkpoint_interval_ops=10**9,  # never: isolate the WAL+apply cost
+        )
+        _apply_all(session, columns)
+        return session
+
+    session = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert session.applied_seq == OPS // BATCH_OPS
+
+
+def test_bench_checkpoint_save(benchmark, tmp_path):
+    """One full-state checkpoint commit (codec + fsync + atomic rename).
+
+    Each round applies one (untimed) batch first so every save lands on
+    a fresh sequence number — a repeat save of an already-published
+    checkpoint short-circuits and would measure nothing.
+    """
+    session = ReplaySession.create(
+        "bench", tmp_path / "tenant", LS_ALL, CAPACITY,
+        checkpoint_interval_ops=10**9,
+    )
+    _apply_all(session, _columns())
+    extra = _columns(n_ops=BATCH_OPS * 8, seed=6)
+    chunks = iter(range(8))
+
+    def advance_one_batch():
+        i = next(chunks)
+        sl = slice(i * BATCH_OPS, (i + 1) * BATCH_OPS)
+        session.apply_batch(
+            session.applied_seq + 1, extra[0][sl], extra[1][sl], extra[2][sl]
+        )
+        return (), {}
+
+    benchmark.pedantic(
+        session.checkpoint, setup=advance_one_batch, rounds=5, iterations=1
+    )
+
+
+def test_bench_recovery_checkpoint_plus_tail(benchmark, tmp_path):
+    """kill -9 recovery: newest checkpoint + half the ops as journal tail.
+
+    ``open`` re-anchors (checkpoints the recovered state), so each round
+    recovers an untimed pristine copy of the crashed directory.
+    """
+    pristine = tmp_path / "pristine"
+    columns = _columns()
+    half = (OPS // BATCH_OPS // 2) * BATCH_OPS
+    first = (columns[0][:half], columns[1][:half], columns[2][:half])
+    rest = (columns[0][half:], columns[1][half:], columns[2][half:])
+    session = ReplaySession.create(
+        "bench", pristine, LS_ALL, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    _apply_all(session, first)
+    session.checkpoint()
+    _apply_all(session, rest)
+    want = session.applied_seq
+    del session  # simulate the crash: no close, journal tail unabsorbed
+
+    roots = itertools.count()
+
+    def crashed_copy():
+        root = tmp_path / f"run{next(roots)}"
+        shutil.copytree(pristine, root)
+        return (root,), {}
+
+    recovered = benchmark.pedantic(
+        lambda root: ReplaySession.open("bench", root, LS_ALL, CAPACITY),
+        setup=crashed_copy,
+        rounds=5,
+        iterations=1,
+    )
+    assert recovered.applied_seq == want

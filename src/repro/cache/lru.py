@@ -99,6 +99,31 @@ class LRUCache:
     def clear(self) -> None:
         self._blocks.clear()
 
+    def resident_blocks(self) -> list:
+        """Resident block indices from least to most recently used.
+
+        Together with :attr:`evictions` this is the cache's complete
+        mutable state; feed it back through :meth:`restore_blocks` to
+        reconstruct an identical cache (checkpoint restore).
+        """
+        return list(self._blocks)
+
+    def restore_blocks(self, blocks, evictions: int = 0) -> None:
+        """Replace the resident set with ``blocks`` (LRU→MRU order).
+
+        ``blocks`` must fit the capacity — restore never evicts, so a
+        snapshot from a same-sized cache always round-trips exactly.
+        """
+        blocks = [int(b) for b in blocks]
+        if len(blocks) > self._capacity_blocks:
+            raise ValueError(
+                f"{len(blocks)} blocks exceed capacity {self._capacity_blocks}"
+            )
+        if len(set(blocks)) != len(blocks):
+            raise ValueError("restored block list contains duplicates")
+        self._blocks = OrderedDict((block, None) for block in blocks)
+        self.evictions = int(evictions)
+
     def __len__(self) -> int:
         return len(self._blocks)
 

@@ -67,6 +67,36 @@ class PrefetchBuffer:
         end = pba + length
         return any(start <= pba and end <= w_end for start, w_end in self._windows)
 
+    def windows(self) -> list:
+        """The buffered ``(start, end)`` windows, oldest first.
+
+        This is the buffer's complete mutable state; feed it back through
+        :meth:`restore_windows` to reconstruct an identical buffer.
+        """
+        return [(int(start), int(end)) for start, end in self._windows]
+
+    def restore_windows(self, windows) -> None:
+        """Replace the buffered windows with ``windows`` (oldest first).
+
+        The windows must respect the invariants :meth:`add_window`
+        maintains (non-empty, within capacity in total), so a snapshot
+        from a same-sized buffer always round-trips exactly.
+        """
+        restored: Deque[Tuple[int, int]] = deque()
+        used = 0
+        for start, end in windows:
+            start, end = int(start), int(end)
+            if end <= start or start < 0:
+                raise ValueError(f"invalid window [{start}, {end})")
+            restored.append((start, end))
+            used += end - start
+        if used > self._capacity:
+            raise ValueError(
+                f"restored windows hold {used} sectors, over capacity {self._capacity}"
+            )
+        self._windows = restored
+        self._used = used
+
     def clear(self) -> None:
         self._windows.clear()
         self._used = 0

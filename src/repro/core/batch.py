@@ -9,10 +9,10 @@ operation.  That per-op object traffic is what makes multi-million-op
 replays slow, not the extent-map arithmetic.  This module replays the same
 translators over numpy op arrays instead:
 
-* **NoLS** is stateless, so the whole replay collapses to array
-  expressions over ``Trace.as_arrays()`` — no Python loop at all.
+* **NoLS** is stateless, so each batch collapses to array expressions over
+  the op columns — no Python loop at all.
 * **Log-structured** replay is stateful (the extent map evolves with every
-  write), so the kernel sweeps the trace in *chunks*: a tight Python loop
+  write), so the kernel sweeps the ops in *chunks*: a tight Python loop
   per chunk performs only the stateful work (extent-map lookups via
   :meth:`~repro.extentmap.base.AddressMap.lookup_pieces`, frontier
   appends, technique-policy calls), appending bare integers to flat
@@ -27,6 +27,22 @@ do not cover — zoned cleaning, multi-frontier translation, fault
 injection, retry policies, recorders — automatically fall back to the
 reference simulator when selected through
 :func:`repro.experiments.common.replay_with`.
+
+Resumable replay
+----------------
+
+The kernels live in :class:`IncrementalBatchReplay`, a **chunk-resumable
+engine with explicit serializable state**: feed ops in arbitrary batches,
+snapshot the complete kernel state at any batch boundary
+(:meth:`~IncrementalBatchReplay.state_dict`), restore it into a fresh
+process (:meth:`~IncrementalBatchReplay.from_state`) and continue —
+the final stats, seek-distance log and translator state are bit-identical
+to a one-shot replay of the same op stream (Hypothesis-tested in
+``tests/differential/test_incremental_vs_oneshot.py``).  This is what
+lets the streaming service (:mod:`repro.service`) keep per-tenant replay
+state resident, checkpoint it, and recover from a ``kill -9`` — and what
+bounds replay memory for arbitrarily long op streams.
+:func:`batch_replay` is a thin one-shot wrapper over the same engine.
 
 Doctest (a write then a fragmenting overwrite-and-read)::
 
@@ -49,7 +65,7 @@ Doctest (a write then a fragmenting overwrite-and-read)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,6 +77,7 @@ from repro.core.translators import (
     LogStructuredTranslator,
     Translator,
 )
+from repro.trace.record import IORequest
 from repro.trace.trace import Trace
 
 #: Operations swept per chunk by the log-structured kernel.  The result is
@@ -156,96 +173,179 @@ def batch_replay_translator(
     """
     if chunk_ops <= 0:
         raise ValueError(f"chunk_ops must be > 0, got {chunk_ops}")
-    if type(translator) is InPlaceTranslator:
-        return _batch_nols(trace, translator)
-    if type(translator) is LogStructuredTranslator:
-        return _batch_log_structured(trace, translator, chunk_ops)
-    raise BatchUnsupportedError(
-        f"no batch kernel for {type(translator).__name__}; "
-        "use the reference Simulator"
-    )
+    engine = IncrementalBatchReplay(translator, trace_name=trace.name)
+    if engine.log_structured:
+        requests = trace.requests
+        for start in range(0, len(requests), chunk_ops):
+            engine.feed(requests[start : start + chunk_ops])
+    else:
+        # NoLS needs no chunking: one fully vectorized pass over the
+        # trace's cached column arrays.
+        engine.feed_arrays(*trace.as_arrays())
+    return engine.result()
 
 
-# --------------------------------------------------------------------- #
-# NoLS: fully vectorized
-# --------------------------------------------------------------------- #
+class IncrementalBatchReplay:
+    """Chunk-resumable exact replay with explicit serializable state.
 
+    Feed operations in arbitrary batches (:meth:`feed` /
+    :meth:`feed_arrays`); counters, the seek-distance log and the
+    translator state advance exactly as a one-shot :func:`batch_replay`
+    of the concatenated stream would — batch boundaries are invisible in
+    the result.  At any boundary the complete kernel state can be
+    exported (:meth:`state_dict`), persisted, and later restored
+    (:meth:`from_state`) to continue the replay bit-identically, possibly
+    in a different process.
 
-def _batch_nols(trace: Trace, translator: InPlaceTranslator) -> BatchRunResult:
-    """In-place baseline: PBA = LBA, one fragment per op, pure array math."""
-    is_read, lba, length = trace.as_arrays()
-    n = len(trace)
-    stats = SimStats()
-    distances = np.empty(0, dtype=np.int64)
-    dist_is_read = np.empty(0, dtype=bool)
-    if n:
+    Args:
+        translator: A fresh (or restored) :class:`InPlaceTranslator` or
+            :class:`LogStructuredTranslator`.  Other translator types
+            raise :class:`BatchUnsupportedError`.
+        trace_name: Label used in :meth:`result`'s ``RunResult``.
+        track_fragments: Maintain a per-read fragment-count histogram
+            (``{fragment_count: reads}``) alongside the counters.  The
+            streaming service derives the live Fig. 5 fragment CDF from
+            it; off by default so one-shot replays don't pay the extra
+            dict update per read.
+    """
+
+    def __init__(
+        self,
+        translator: Translator,
+        trace_name: str = "stream",
+        track_fragments: bool = False,
+    ) -> None:
+        if type(translator) is LogStructuredTranslator:
+            self._ls: Optional[LogStructuredTranslator] = translator
+        elif type(translator) is InPlaceTranslator:
+            self._ls = None
+        else:
+            raise BatchUnsupportedError(
+                f"no batch kernel for {type(translator).__name__}; "
+                "use the reference Simulator"
+            )
+        self._translator = translator
+        self.trace_name = trace_name
+        self.ops_applied = 0
+        self._track_fragments = track_fragments
+        self.fragment_hist: Dict[int, int] = {}
+        self._head_position = translator.head.position
+
+        # Scalar accumulators (folded into a SimStats by result()).
+        self._reads = 0
+        self._writes = 0
+        self._sectors_read = 0
+        self._sectors_written = 0
+        self._read_fragments = 0
+        self._fragmented_reads = 0
+        self._cache_hits = 0
+        self._buffer_hits = 0
+        self._defrag_rewrites = 0
+        self._defrag_sectors = 0
+        self._read_seeks = 0
+        self._write_seeks = 0
+        self._defrag_write_seeks = 0
+
+        # Undrained seek-distance log, in access order.
+        self._distance_chunks: List[np.ndarray] = []
+        self._read_flag_chunks: List[np.ndarray] = []
+
+    # ----------------------------------------------------------------- #
+    # Introspection
+    # ----------------------------------------------------------------- #
+
+    @property
+    def translator(self) -> Translator:
+        return self._translator
+
+    @property
+    def log_structured(self) -> bool:
+        return self._ls is not None
+
+    # ----------------------------------------------------------------- #
+    # Feeding
+    # ----------------------------------------------------------------- #
+
+    def feed(self, requests: Sequence[IORequest]) -> None:
+        """Replay one batch of requests, advancing the resident state.
+
+        A mid-batch error (e.g. a read crossing the frontier base) leaves
+        the engine partially advanced — discard it and restore from the
+        last snapshot; this is exactly what the service's recovery path
+        does.
+        """
+        if self._ls is not None:
+            self._feed_log_structured(requests)
+            return
+        n = len(requests)
+        if n == 0:
+            return
+        packed = np.fromiter(
+            ((r.is_read, r.lba, r.length) for r in requests),
+            dtype=[("is_read", "?"), ("lba", "<i8"), ("length", "<i8")],
+            count=n,
+        )
+        self.feed_arrays(packed["is_read"], packed["lba"], packed["length"])
+
+    def feed_arrays(
+        self, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
+    ) -> None:
+        """Replay one batch already in column form (NoLS only).
+
+        The log-structured kernel needs per-op technique decisions, so it
+        consumes :class:`IORequest` batches via :meth:`feed`; this zero-
+        conversion path exists for the fully vectorized NoLS kernel.
+        """
+        if self._ls is not None:
+            raise BatchUnsupportedError(
+                "feed_arrays is NoLS-only; feed the log-structured kernel "
+                "IORequest batches via feed()"
+            )
+        n = len(lba)
+        if n == 0:
+            return
         prev_end = np.empty(n, dtype=np.int64)
-        prev_end[0] = lba[0]  # first access never seeks
+        prev_end[0] = lba[0] if self._head_position is None else self._head_position
         np.add(lba[:-1], length[:-1], out=prev_end[1:])
         seek = lba != prev_end
         distances = (lba - prev_end)[seek]
-        dist_is_read = is_read[seek]
+        dist_is_read = np.ascontiguousarray(is_read[seek])
         reads = int(np.count_nonzero(is_read))
-        stats.reads = reads
-        stats.writes = n - reads
-        stats.read_seeks = int(np.count_nonzero(dist_is_read))
-        stats.write_seeks = int(distances.size - stats.read_seeks)
-        stats.read_fragments = reads
-        stats.sectors_read = int(length[is_read].sum())
-        stats.sectors_written = int(length.sum()) - stats.sectors_read
-        # Leave the head exactly where the reference replay would.
-        translator.head._position = int(lba[-1] + length[-1])
-    return BatchRunResult(
-        run_result=RunResult(
-            trace_name=trace.name,
-            translator=translator.description,
-            stats=stats,
-        ),
-        distances=distances,
-        distance_is_read=dist_is_read,
-        translator=translator,
-    )
+        read_seeks = int(np.count_nonzero(dist_is_read))
+        sectors_read = int(length[is_read].sum())
+        self._reads += reads
+        self._writes += n - reads
+        self._read_seeks += read_seeks
+        self._write_seeks += int(distances.size) - read_seeks
+        self._read_fragments += reads
+        self._sectors_read += sectors_read
+        self._sectors_written += int(length.sum()) - sectors_read
+        if self._track_fragments and reads:
+            self.fragment_hist[1] = self.fragment_hist.get(1, 0) + reads
+        if distances.size:
+            self._distance_chunks.append(np.ascontiguousarray(distances))
+            self._read_flag_chunks.append(dist_is_read)
+        self._head_position = int(lba[-1] + length[-1])
+        self._translator.head.restore_position(self._head_position)
+        self.ops_applied += n
 
+    def _feed_log_structured(self, requests: Sequence[IORequest]) -> None:
+        translator = self._ls
+        amap = translator.address_map
+        lookup_pieces = amap.lookup_pieces
+        map_range = amap.map_range
+        defrag = translator.defrag
+        prefetcher = translator.prefetcher
+        cache = translator.cache
+        plain = defrag is None and prefetcher is None and cache is None
+        track_fragments = self._track_fragments
+        fragment_hist = self.fragment_hist
 
-# --------------------------------------------------------------------- #
-# Log-structured: chunked sweep + vectorized classification
-# --------------------------------------------------------------------- #
+        frontier = translator.frontier
+        frontier_base = translator.frontier_base
+        head_position = self._head_position
 
-
-def _batch_log_structured(
-    trace: Trace,
-    translator: LogStructuredTranslator,
-    chunk_ops: int,
-) -> BatchRunResult:
-    stats = SimStats()
-    amap = translator.address_map
-    lookup_pieces = amap.lookup_pieces
-    map_range = amap.map_range
-    defrag = translator.defrag
-    prefetcher = translator.prefetcher
-    cache = translator.cache
-    plain = defrag is None and prefetcher is None and cache is None
-
-    frontier = translator.frontier
-    frontier_base = translator.frontier_base
-    head_position = translator.head.position  # None before any access
-
-    requests = trace.requests
-    n = len(requests)
-    distance_chunks: List[np.ndarray] = []
-    read_flag_chunks: List[np.ndarray] = []
-
-    # Scalar accumulators kept in locals for speed, folded into stats after.
-    reads = writes = 0
-    sectors_read = sectors_written = 0
-    read_fragments = fragmented_reads = 0
-    cache_hits = buffer_hits = 0
-    defrag_rewrites = defrag_sectors = 0
-    read_seeks = write_seeks = defrag_write_seeks = 0
-
-    for start in range(0, n, chunk_ops):
-        chunk = requests[start : start + chunk_ops]
-        # Flat access-stream buffers for this chunk (disk accesses only;
+        # Flat access-stream buffers for this batch (disk accesses only;
         # cache/buffer hits never move the head).
         pba_buf: List[int] = []
         len_buf: List[int] = []
@@ -254,7 +354,14 @@ def _batch_log_structured(
         append_len = len_buf.append
         append_kind = kind_buf.append
 
-        for request in chunk:
+        # Scalar accumulators kept in locals for speed, folded in after.
+        reads = writes = 0
+        sectors_read = sectors_written = 0
+        read_fragments = fragmented_reads = 0
+        cache_hits = buffer_hits = 0
+        defrag_rewrites = defrag_sectors = 0
+
+        for request in requests:
             req_length = request.length
             if request.is_write:
                 append_pba(frontier)
@@ -268,6 +375,8 @@ def _batch_log_structured(
 
             req_lba = request.lba
             if req_lba + req_length > frontier_base:
+                # Engine state is part-way through the batch now; callers
+                # must discard it (restore from a snapshot to continue).
                 raise ValueError(
                     f"request [{req_lba}, {req_lba + req_length}) crosses the "
                     f"frontier base {frontier_base}; size the log above the "
@@ -278,6 +387,8 @@ def _batch_log_structured(
             reads += 1
             sectors_read += req_length
             read_fragments += fragments
+            if track_fragments:
+                fragment_hist[fragments] = fragment_hist.get(fragments, 0) + 1
             if plain or fragments == 1:
                 # Unfragmented reads bypass every technique (the paper's
                 # FragmentedRead guard); plain LS has no techniques at all.
@@ -316,42 +427,206 @@ def _batch_log_structured(
                 defrag_sectors += req_length
                 defrag.note_defragmented(req_lba, req_length)
 
-        if not pba_buf:
-            continue
-        # Vectorized seek classification over the chunk's access stream.
-        pba_arr = np.asarray(pba_buf, dtype=np.int64)
-        len_arr = np.asarray(len_buf, dtype=np.int64)
-        kind_arr = np.asarray(kind_buf, dtype=np.int8)
-        prev_end = np.empty_like(pba_arr)
-        prev_end[0] = pba_arr[0] if head_position is None else head_position
-        np.add(pba_arr[:-1], len_arr[:-1], out=prev_end[1:])
-        seek = pba_arr != prev_end
-        seek_kinds = kind_arr[seek]
-        read_seeks += int(np.count_nonzero(seek_kinds == _KIND_READ))
-        write_seeks += int(np.count_nonzero(seek_kinds == _KIND_WRITE))
-        defrag_write_seeks += int(np.count_nonzero(seek_kinds == _KIND_DEFRAG))
-        distance_chunks.append((pba_arr - prev_end)[seek])
-        read_flag_chunks.append(seek_kinds == _KIND_READ)
-        head_position = int(pba_arr[-1] + len_arr[-1])
+        self._fold_scalars(
+            reads, writes, sectors_read, sectors_written, read_fragments,
+            fragmented_reads, cache_hits, buffer_hits, defrag_rewrites,
+            defrag_sectors,
+        )
+        self.ops_applied += len(requests)
 
-    stats.reads = reads
-    stats.writes = writes
-    stats.sectors_read = sectors_read
-    stats.sectors_written = sectors_written
-    stats.read_fragments = read_fragments
-    stats.fragmented_reads = fragmented_reads
-    stats.cache_fragment_hits = cache_hits
-    stats.buffer_fragment_hits = buffer_hits
-    stats.defrag_rewrites = defrag_rewrites
-    stats.defrag_rewritten_sectors = defrag_sectors
-    stats.read_seeks = read_seeks
-    stats.write_seeks = write_seeks
-    stats.defrag_write_seeks = defrag_write_seeks
+        if pba_buf:
+            # Vectorized seek classification over the batch's access stream.
+            pba_arr = np.asarray(pba_buf, dtype=np.int64)
+            len_arr = np.asarray(len_buf, dtype=np.int64)
+            kind_arr = np.asarray(kind_buf, dtype=np.int8)
+            prev_end = np.empty_like(pba_arr)
+            prev_end[0] = pba_arr[0] if head_position is None else head_position
+            np.add(pba_arr[:-1], len_arr[:-1], out=prev_end[1:])
+            seek = pba_arr != prev_end
+            seek_kinds = kind_arr[seek]
+            self._read_seeks += int(np.count_nonzero(seek_kinds == _KIND_READ))
+            self._write_seeks += int(np.count_nonzero(seek_kinds == _KIND_WRITE))
+            self._defrag_write_seeks += int(
+                np.count_nonzero(seek_kinds == _KIND_DEFRAG)
+            )
+            self._distance_chunks.append((pba_arr - prev_end)[seek])
+            self._read_flag_chunks.append(seek_kinds == _KIND_READ)
+            self._head_position = int(pba_arr[-1] + len_arr[-1])
 
-    # Leave the translator in the exact state a reference replay produces.
-    translator._frontier = frontier
-    translator.head._position = head_position
+        # Leave the translator in the exact state a reference replay
+        # produces after the same ops.
+        translator._frontier = frontier
+        translator.head.restore_position(self._head_position)
 
+    def _fold_scalars(
+        self, reads, writes, sectors_read, sectors_written, read_fragments,
+        fragmented_reads, cache_hits, buffer_hits, defrag_rewrites,
+        defrag_sectors,
+    ) -> None:
+        self._reads += reads
+        self._writes += writes
+        self._sectors_read += sectors_read
+        self._sectors_written += sectors_written
+        self._read_fragments += read_fragments
+        self._fragmented_reads += fragmented_reads
+        self._cache_hits += cache_hits
+        self._buffer_hits += buffer_hits
+        self._defrag_rewrites += defrag_rewrites
+        self._defrag_sectors += defrag_sectors
+
+    # ----------------------------------------------------------------- #
+    # Results
+    # ----------------------------------------------------------------- #
+
+    def stats(self) -> SimStats:
+        """Cumulative counters over everything fed so far."""
+        stats = SimStats()
+        stats.reads = self._reads
+        stats.writes = self._writes
+        stats.sectors_read = self._sectors_read
+        stats.sectors_written = self._sectors_written
+        stats.read_fragments = self._read_fragments
+        stats.fragmented_reads = self._fragmented_reads
+        stats.cache_fragment_hits = self._cache_hits
+        stats.buffer_fragment_hits = self._buffer_hits
+        stats.defrag_rewrites = self._defrag_rewrites
+        stats.defrag_rewritten_sectors = self._defrag_sectors
+        stats.read_seeks = self._read_seeks
+        stats.write_seeks = self._write_seeks
+        stats.defrag_write_seeks = self._defrag_write_seeks
+        return stats
+
+    def drain_distances(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Return and clear the seek distances logged since the last drain.
+
+        Returns ``(distances, distance_is_read)`` in access order.  The
+        streaming service drains after every batch and folds the arrays
+        into bounded incremental summaries
+        (:class:`~repro.analysis.incremental.IncrementalDistances`), so a
+        long-lived session never accumulates an unbounded distance log.
+        Counters are unaffected; a later :meth:`result` only carries
+        distances logged after the drain.
+        """
+        distances, dist_is_read = _concat_distance_chunks(
+            self._distance_chunks, self._read_flag_chunks
+        )
+        self._distance_chunks = []
+        self._read_flag_chunks = []
+        return distances, dist_is_read
+
+    def result(self, trace_name: Optional[str] = None) -> BatchRunResult:
+        """Package the cumulative state as a :class:`BatchRunResult`.
+
+        Equals the one-shot :func:`batch_replay` result for the
+        concatenation of every batch fed (provided :meth:`drain_distances`
+        was never called — draining moves distances out of the engine).
+        """
+        distances, dist_is_read = _concat_distance_chunks(
+            self._distance_chunks, self._read_flag_chunks
+        )
+        return BatchRunResult(
+            run_result=RunResult(
+                trace_name=trace_name or self.trace_name,
+                translator=self._translator.description,
+                stats=self.stats(),
+            ),
+            distances=distances,
+            distance_is_read=dist_is_read,
+            translator=self._translator,
+        )
+
+    # ----------------------------------------------------------------- #
+    # Serializable kernel state
+    # ----------------------------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        """The complete kernel state at the current batch boundary.
+
+        Scalars are plain Python values; the translator's extent map and
+        the undrained distance log are int64/bool numpy arrays — exactly
+        the split :mod:`repro.util.npystore` persists.  Restoring the
+        snapshot with :meth:`from_state` resumes the replay bit-identically.
+        """
+        distances, dist_is_read = _concat_distance_chunks(
+            self._distance_chunks, self._read_flag_chunks
+        )
+        # Concatenating is also a normalization — keep the merged arrays
+        # so repeated snapshots don't re-concatenate ever-growing lists.
+        if distances.size:
+            self._distance_chunks = [distances]
+            self._read_flag_chunks = [dist_is_read]
+        return {
+            "trace_name": self.trace_name,
+            "ops_applied": self.ops_applied,
+            "track_fragments": self._track_fragments,
+            "fragment_hist": sorted(self.fragment_hist.items()),
+            "head_position": self._head_position,
+            "counters": {
+                "reads": self._reads,
+                "writes": self._writes,
+                "sectors_read": self._sectors_read,
+                "sectors_written": self._sectors_written,
+                "read_fragments": self._read_fragments,
+                "fragmented_reads": self._fragmented_reads,
+                "cache_hits": self._cache_hits,
+                "buffer_hits": self._buffer_hits,
+                "defrag_rewrites": self._defrag_rewrites,
+                "defrag_sectors": self._defrag_sectors,
+                "read_seeks": self._read_seeks,
+                "write_seeks": self._write_seeks,
+                "defrag_write_seeks": self._defrag_write_seeks,
+            },
+            "translator": self._translator.state_dict(),
+            "distances": distances,
+            "distance_is_read": dist_is_read,
+        }
+
+    @classmethod
+    def from_state(cls, translator: Translator, state: dict) -> "IncrementalBatchReplay":
+        """Rebuild an engine from :meth:`state_dict` output.
+
+        ``translator`` must be freshly built from the same configuration
+        as the snapshotted one (e.g. via
+        :func:`~repro.core.config.build_translator_for_base`); its state
+        is overwritten from the snapshot.
+        """
+        engine = cls(
+            translator,
+            trace_name=state["trace_name"],
+            track_fragments=bool(state["track_fragments"]),
+        )
+        translator.load_state(state["translator"])
+        engine._head_position = translator.head.position
+        engine.ops_applied = int(state["ops_applied"])
+        engine.fragment_hist = {
+            int(k): int(v) for k, v in state["fragment_hist"]
+        }
+        counters = state["counters"]
+        engine._reads = int(counters["reads"])
+        engine._writes = int(counters["writes"])
+        engine._sectors_read = int(counters["sectors_read"])
+        engine._sectors_written = int(counters["sectors_written"])
+        engine._read_fragments = int(counters["read_fragments"])
+        engine._fragmented_reads = int(counters["fragmented_reads"])
+        engine._cache_hits = int(counters["cache_hits"])
+        engine._buffer_hits = int(counters["buffer_hits"])
+        engine._defrag_rewrites = int(counters["defrag_rewrites"])
+        engine._defrag_sectors = int(counters["defrag_sectors"])
+        engine._read_seeks = int(counters["read_seeks"])
+        engine._write_seeks = int(counters["write_seeks"])
+        engine._defrag_write_seeks = int(counters["defrag_write_seeks"])
+        distances = np.asarray(state["distances"], dtype=np.int64)
+        dist_is_read = np.asarray(state["distance_is_read"], dtype=bool)
+        if distances.size:
+            engine._distance_chunks = [distances]
+            engine._read_flag_chunks = [dist_is_read]
+        return engine
+
+
+def _concat_distance_chunks(
+    distance_chunks: List[np.ndarray],
+    read_flag_chunks: List[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
     distances = (
         np.concatenate(distance_chunks)
         if distance_chunks
@@ -362,13 +637,4 @@ def _batch_log_structured(
         if read_flag_chunks
         else np.empty(0, dtype=bool)
     )
-    return BatchRunResult(
-        run_result=RunResult(
-            trace_name=trace.name,
-            translator=translator.description,
-            stats=stats,
-        ),
-        distances=distances,
-        distance_is_read=dist_is_read,
-        translator=translator,
-    )
+    return distances, dist_is_read

@@ -73,11 +73,52 @@ def build_translator(trace: Trace, config: TechniqueConfig) -> Translator:
     The log frontier is placed at the trace's ``max_end`` so pre-trace data
     resolves at PBA = LBA (§III).
     """
+    return build_translator_for_base(trace.max_end, config)
+
+
+def build_translator_for_base(frontier_base: int, config: TechniqueConfig) -> Translator:
+    """Construct a fresh translator with an explicit log frontier base.
+
+    The streaming service (:mod:`repro.service`) uses this: a live session
+    has no whole trace to take ``max_end`` from, so the tenant declares the
+    LBA capacity its ops will stay under and the log starts there.  For the
+    in-place baseline the base is irrelevant and ignored.
+    """
     if not config.log_structured:
         return InPlaceTranslator()
     return LogStructuredTranslator(
-        frontier_base=trace.max_end,
+        frontier_base=frontier_base,
         defrag=OpportunisticDefrag(config.defrag) if config.defrag else None,
         prefetcher=LookAheadBehindPrefetcher(config.prefetch) if config.prefetch else None,
         cache=SelectiveFragmentCache(config.cache) if config.cache else None,
+    )
+
+
+def config_to_dict(config: TechniqueConfig) -> dict:
+    """JSON-serializable encoding of a :class:`TechniqueConfig`.
+
+    Round-trips exactly through :func:`config_from_dict`; used by the
+    service wire protocol and checkpoint headers.
+    """
+    from dataclasses import asdict
+
+    return {
+        "name": config.name,
+        "log_structured": config.log_structured,
+        "defrag": asdict(config.defrag) if config.defrag else None,
+        "prefetch": asdict(config.prefetch) if config.prefetch else None,
+        "cache": asdict(config.cache) if config.cache else None,
+        "fast": config.fast,
+    }
+
+
+def config_from_dict(data: dict) -> TechniqueConfig:
+    """Inverse of :func:`config_to_dict`."""
+    return TechniqueConfig(
+        name=data["name"],
+        log_structured=bool(data.get("log_structured", True)),
+        defrag=DefragConfig(**data["defrag"]) if data.get("defrag") else None,
+        prefetch=PrefetchConfig(**data["prefetch"]) if data.get("prefetch") else None,
+        cache=SelectiveCacheConfig(**data["cache"]) if data.get("cache") else None,
+        fast=bool(data.get("fast", False)),
     )

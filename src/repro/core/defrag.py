@@ -92,3 +92,23 @@ class OpportunisticDefrag:
     def note_defragmented(self, lba: int, length: int) -> None:
         """Forget access history for a range that was just rewritten."""
         self._access_counts.pop((lba, length), None)
+
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state (checkpoint snapshot).
+
+        Configuration is *not* included — restore builds a policy from the
+        same :class:`DefragConfig` and loads this state into it.
+        """
+        return {
+            "access_counts": [
+                [lba, length, count]
+                for (lba, length), count in self._access_counts.items()
+            ]
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (replaces current state)."""
+        self._access_counts = {
+            (int(lba), int(length)): int(count)
+            for lba, length, count in state["access_counts"]
+        }

@@ -98,3 +98,19 @@ class LookAheadBehindPrefetcher:
     def clear(self) -> None:
         """Drop all buffered windows (e.g. between replays)."""
         self._buffer.clear()
+
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state (checkpoint snapshot).
+
+        Configuration is *not* included — restore builds a prefetcher from
+        the same :class:`PrefetchConfig` and loads this state into it.
+        """
+        return {
+            "windows": [list(w) for w in self._buffer.windows()],
+            "window_reads": self.window_reads,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (replaces current state)."""
+        self._buffer.restore_windows(state["windows"])
+        self.window_reads = int(state["window_reads"])

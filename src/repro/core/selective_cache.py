@@ -99,3 +99,22 @@ class SelectiveFragmentCache:
 
     def clear(self) -> None:
         self._lru.clear()
+
+    def state_dict(self) -> dict:
+        """JSON-serializable mutable state (checkpoint snapshot).
+
+        Configuration is *not* included — restore builds a cache from the
+        same :class:`SelectiveCacheConfig` and loads this state into it.
+        """
+        return {
+            "blocks": self._lru.resident_blocks(),
+            "evictions": self._lru.evictions,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output (replaces current state)."""
+        self._lru.restore_blocks(state["blocks"], evictions=state["evictions"])
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])

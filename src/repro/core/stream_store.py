@@ -155,18 +155,26 @@ class StreamStore:
         return FragmentStream(layout=None, **scalars, **arrays)
 
     def store_stream(self, trace: Trace, stream: FragmentStream) -> Path:
-        """Publish ``stream`` (recorded from ``trace``) atomically."""
+        """Publish ``stream`` (recorded from ``trace``) atomically.
+
+        If a concurrent process published the same key first, its entry
+        stands (streams are pure functions of the trace, so the contents
+        are identical); the lost race is counted as a hit.
+        """
         header = {
             "schema": STREAM_SCHEMA,
             "trace": trace.content_key(),
             "accesses": stream.accesses,
             **{key: getattr(stream, key) for key in _SCALAR_KEYS},
         }
-        return commit_entry_dir(
+        path, won = commit_entry_dir(
             self.path_for(trace),
             {key: getattr(stream, key) for key in _ARRAY_KEYS},
             header,
         )
+        if not won:
+            self.hits += 1
+        return path
 
     # ----------------------------------------------------------------- #
     # NoLS baseline summaries

@@ -61,6 +61,16 @@ class InPlaceTranslator(Translator):
     def description(self) -> str:
         return "NoLS"
 
+    def state_dict(self) -> dict:
+        """Complete mutable state (the head position is all there is)."""
+        return {"kind": "in-place", "head_position": self._head.position}
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto this translator."""
+        if state.get("kind") != "in-place":
+            raise ValueError(f"not an in-place translator state: {state.get('kind')!r}")
+        self._head.restore_position(state["head_position"])
+
     def submit(self, request: IORequest) -> IOOutcome:
         event = self._head.access(request.lba, request.length)
         access = SegmentAccess(
@@ -166,6 +176,80 @@ class LogStructuredTranslator(Translator):
     def static_fragmentation(self) -> int:
         """Number of mapped extents — seeks a full-LBA-space scan would pay."""
         return self._map.mapped_extent_count()
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable state
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Complete mutable state of the translator, serializable.
+
+        The extent map is exported as three parallel int64 numpy arrays
+        (everything else is plain Python scalars/lists), so the snapshot
+        can be persisted through :mod:`repro.util.npystore` and restored
+        to a byte-identical translator.  Technique *configuration* is not
+        included: restore builds a translator from the same
+        :class:`~repro.core.config.TechniqueConfig` and loads this state
+        into it (:meth:`load_state` checks the shapes match).
+
+        Requires the address map to be an :class:`ExtentMap` (the default;
+        alternative maps would need their own export).
+        """
+        if not isinstance(self._map, ExtentMap):
+            raise TypeError(
+                f"state_dict needs an ExtentMap address map, "
+                f"got {type(self._map).__name__}"
+            )
+        map_lba, map_pba, map_length = self._map.extent_arrays()
+        return {
+            "kind": "log-structured",
+            "frontier_base": self._frontier_base,
+            "frontier": self._frontier,
+            "head_position": self._head.position,
+            "defrag": self._defrag.state_dict() if self._defrag else None,
+            "prefetch": self._prefetcher.state_dict() if self._prefetcher else None,
+            "cache": self._cache.state_dict() if self._cache else None,
+            "map_lba": map_lba,
+            "map_pba": map_pba,
+            "map_length": map_length,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto this translator.
+
+        The translator must have been built with the same technique
+        line-up (and configs) as the snapshotted one; a presence mismatch
+        raises rather than silently dropping state.
+        """
+        if state.get("kind") != "log-structured":
+            raise ValueError(
+                f"not a log-structured translator state: {state.get('kind')!r}"
+            )
+        for name, component, snapshot in (
+            ("defrag", self._defrag, state["defrag"]),
+            ("prefetch", self._prefetcher, state["prefetch"]),
+            ("cache", self._cache, state["cache"]),
+        ):
+            if (component is None) != (snapshot is None):
+                raise ValueError(
+                    f"technique mismatch restoring state: {name} is "
+                    f"{'absent' if component is None else 'present'} on the "
+                    f"translator but {'present' if snapshot else 'absent'} "
+                    "in the snapshot"
+                )
+        self._map = ExtentMap.from_extent_arrays(
+            state["map_lba"], state["map_pba"], state["map_length"]
+        )
+        self._frontier_base = int(state["frontier_base"])
+        self._frontier = int(state["frontier"])
+        head = state["head_position"]
+        self._head.restore_position(None if head is None else int(head))
+        if self._defrag is not None:
+            self._defrag.load_state(state["defrag"])
+        if self._prefetcher is not None:
+            self._prefetcher.load_state(state["prefetch"])
+        if self._cache is not None:
+            self._cache.load_state(state["cache"])
 
     # ------------------------------------------------------------------ #
     # Request service

@@ -88,3 +88,13 @@ class DiskHead:
     def reset(self) -> None:
         """Forget the head position (used between independent replays)."""
         self._position = None
+
+    def restore_position(self, position: Optional[int]) -> None:
+        """Set the head state directly (checkpoint restore).
+
+        ``None`` means "no access yet" — the next access positions freely,
+        exactly as on a fresh head.
+        """
+        if position is not None and position < 0:
+            raise ValueError(f"position must be >= 0 or None, got {position}")
+        self._position = position

@@ -26,7 +26,11 @@ import argparse
 import sys
 
 from repro.experiments.registry import EXHIBITS, resolve_names
-from repro.experiments.runner import format_outcome_table, run_exhibits
+from repro.experiments.runner import (
+    RunInterrupted,
+    format_outcome_table,
+    run_exhibits,
+)
 
 
 def main(argv=None) -> int:
@@ -133,20 +137,38 @@ def main(argv=None) -> int:
     if args.resume and not args.out:
         parser.error("--resume requires --out DIR (the manifest lives there)")
 
-    outcomes = run_exhibits(
-        names,
-        seed=args.seed,
-        scale=args.scale,
-        out_dir=args.out,
-        svg_dir=args.svg,
-        keep_going=args.keep_going,
-        timeout_s=args.timeout,
-        resume=args.resume,
-        jobs=args.jobs,
-        fast=args.fast,
-        trace_store=args.trace_store,
-        stream_store=args.stream_store,
-    )
+    try:
+        outcomes = run_exhibits(
+            names,
+            seed=args.seed,
+            scale=args.scale,
+            out_dir=args.out,
+            svg_dir=args.svg,
+            keep_going=args.keep_going,
+            timeout_s=args.timeout,
+            resume=args.resume,
+            jobs=args.jobs,
+            fast=args.fast,
+            trace_store=args.trace_store,
+            stream_store=args.stream_store,
+        )
+    except RunInterrupted as exc:
+        # Workers are reaped and the manifest is finalized before this
+        # propagates; the conventional 128+signum exit code tells the
+        # shell which signal it was (130 SIGINT, 143 SIGTERM).
+        print(
+            f"\nrun interrupted by {exc.signal_name}; completed exhibits are "
+            "checkpointed — rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 128 + exc.signum
+    except KeyboardInterrupt:
+        print(
+            "\nrun interrupted; completed exhibits are checkpointed — "
+            "rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return 130
     failed = [o for o in outcomes if not o.ok]
     if args.keep_going or failed or len(outcomes) > 1:
         print(format_outcome_table(outcomes))

@@ -76,6 +76,56 @@ class ExhibitTimeoutError(Exception):
     """An exhibit exceeded its per-exhibit time budget."""
 
 
+class RunInterrupted(BaseException):
+    """The run was interrupted by a signal (SIGINT/SIGTERM).
+
+    ``BaseException`` on purpose, like :class:`KeyboardInterrupt`: exhibit
+    isolation must not swallow an operator's interrupt.  The runner
+    finalizes the manifest (no dangling ``running`` entries) before this
+    propagates, so a rerun with ``resume=True`` continues cleanly.
+    """
+
+    def __init__(self, signum: int) -> None:
+        try:
+            name = signal.Signals(signum).name
+        except ValueError:
+            name = f"signal {signum}"
+        super().__init__(f"run interrupted by {name}")
+        self.signum = signum
+        self.signal_name = name
+
+
+@contextmanager
+def run_signal_handlers():
+    """Turn SIGINT/SIGTERM into :class:`RunInterrupted` inside the block.
+
+    Only arms in the main thread of a POSIX process (a ``signal.signal``
+    limitation, same as :func:`exhibit_timeout`); elsewhere the block
+    runs with whatever handlers the host installed.  Previous handlers
+    are restored on exit either way.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise RunInterrupted(signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, getattr(signal, "SIGTERM", None)):
+        if signum is None:
+            continue
+        try:
+            previous[signum] = signal.signal(signum, _raise)
+        except (ValueError, OSError):  # exotic hosts; run unprotected
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def exhibit_fingerprint(name: str, seed: int, scale: float) -> str:
     """Identity of one exhibit execution for resume matching.
 
@@ -284,6 +334,26 @@ def _pool_worker(
     )
 
 
+def _reap_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate and join a pool's worker processes (best effort).
+
+    Used on interrupt: waiting politely for an in-flight fig11-class
+    sweep defeats the point of Ctrl-C.  Exhibit/manifest writes are all
+    atomic-rename, so killing workers mid-write leaves no torn files.
+    """
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+        except Exception:
+            pass
+
+
 def _shard_weight(shard: str) -> int:
     """Longest-first scheduling weight of one shard (workload op count)."""
     try:
@@ -417,6 +487,7 @@ def _run_pending_parallel(
         if len(shard_payloads[name]) == len(shard_map[name]):
             merge_exhibit(name)
 
+    interrupt: Optional[BaseException] = None
     with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
         futures = {
             pool.submit(
@@ -429,11 +500,22 @@ def _run_pending_parallel(
             for _weight, name, shard in units
         }
         not_done = set(futures)
-        while not_done and not abort:
-            done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
-            for future in done:
-                absorb(future.result())
-        if abort:
+        try:
+            with run_signal_handlers():
+                while not_done and not abort:
+                    done, not_done = wait(not_done, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        absorb(future.result())
+        except (KeyboardInterrupt, RunInterrupted) as exc:
+            # Operator interrupt: cancel everything not yet started, reap
+            # the worker processes (their dumps are atomic, so a unit
+            # killed mid-write leaves no torn file), and fall through to
+            # finalize the manifest before re-raising.
+            interrupt = exc
+            for future in not_done:
+                future.cancel()
+            _reap_pool(pool)
+        if interrupt is None and abort:
             for future in not_done:
                 future.cancel()
             # In-flight units finish (their dumps/payloads stay valid);
@@ -454,6 +536,17 @@ def _run_pending_parallel(
                     manifest.exhibits.pop(name, None)
                 if dropped:
                     manifest.save()
+    if interrupt is not None:
+        # Finalize: no exhibit may be left marked ``running`` — resume
+        # treats such entries as incomplete, but the manifest must say
+        # what actually happened, not lie mid-sentence.
+        if manifest is not None:
+            dropped = [n for n in pending if n not in results]
+            for name in dropped:
+                manifest.exhibits.pop(name, None)
+            if dropped:
+                manifest.save()
+        raise interrupt
     return results
 
 
@@ -559,50 +652,62 @@ def run_exhibits(
         common.set_stream_store(stream_store)
     outcomes: List[ExhibitOutcome] = []
     try:
-        for name in names:
-            fingerprint = exhibit_fingerprint(name, seed, scale)
-            if skip_on_resume(name, fingerprint):
-                echo(f"=== {name}: already complete, skipping (resume)")
-                outcomes.append(ExhibitOutcome(name, STATUS_SKIPPED))
-                continue
-            if manifest is not None:
-                manifest.mark_running(name, fingerprint)
-            echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
-            start = time.time()
-            status, error = STATUS_OK, None
-            try:
-                with exhibit_timeout(timeout_s):
-                    data = run_exhibit(name, seed=seed, scale=scale, out_dir=out_dir)
-                    if svg_dir:
-                        from repro.experiments.charts import render_svg
-
-                        for path in render_svg(name, data, svg_dir):
-                            echo(f"(svg) {path}")
-            except ExhibitTimeoutError as exc:
-                status, error = STATUS_TIMEOUT, str(exc)
-            except KeyboardInterrupt:
+        with run_signal_handlers():
+            for name in names:
+                fingerprint = exhibit_fingerprint(name, seed, scale)
+                if skip_on_resume(name, fingerprint):
+                    echo(f"=== {name}: already complete, skipping (resume)")
+                    outcomes.append(ExhibitOutcome(name, STATUS_SKIPPED))
+                    continue
                 if manifest is not None:
-                    manifest.mark_done(
-                        name, STATUS_FAILED, fingerprint,
-                        time.time() - start, "interrupted (KeyboardInterrupt)",
-                    )
-                raise
-            except Exception:
-                status, error = STATUS_FAILED, traceback.format_exc()
-            duration = time.time() - start
+                    manifest.mark_running(name, fingerprint)
+                echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
+                start = time.time()
+                status, error = STATUS_OK, None
+                try:
+                    with exhibit_timeout(timeout_s):
+                        data = run_exhibit(
+                            name, seed=seed, scale=scale, out_dir=out_dir
+                        )
+                        if svg_dir:
+                            from repro.experiments.charts import render_svg
 
-            if manifest is not None:
-                manifest.mark_done(name, status, fingerprint, duration, error)
-            outcomes.append(ExhibitOutcome(name, status, duration, error))
-            if status == STATUS_OK:
-                echo(f"--- {name} done in {duration:.1f}s\n")
-            else:
-                echo(f"--- {name} {status.upper()} after {duration:.1f}s")
-                if error:
-                    echo(error.rstrip())
-                echo("")
-                if not keep_going:
-                    break
+                            for path in render_svg(name, data, svg_dir):
+                                echo(f"(svg) {path}")
+                except ExhibitTimeoutError as exc:
+                    status, error = STATUS_TIMEOUT, str(exc)
+                except (KeyboardInterrupt, RunInterrupted) as exc:
+                    # Finalize the manifest mid-exhibit: the interrupted
+                    # exhibit is failed (it did not finish), everything
+                    # before it keeps its recorded status, and a rerun
+                    # with resume=True picks up exactly here.
+                    cause = (
+                        f"interrupted ({exc.signal_name})"
+                        if isinstance(exc, RunInterrupted)
+                        else "interrupted (KeyboardInterrupt)"
+                    )
+                    if manifest is not None:
+                        manifest.mark_done(
+                            name, STATUS_FAILED, fingerprint,
+                            time.time() - start, cause,
+                        )
+                    raise
+                except Exception:
+                    status, error = STATUS_FAILED, traceback.format_exc()
+                duration = time.time() - start
+
+                if manifest is not None:
+                    manifest.mark_done(name, status, fingerprint, duration, error)
+                outcomes.append(ExhibitOutcome(name, status, duration, error))
+                if status == STATUS_OK:
+                    echo(f"--- {name} done in {duration:.1f}s\n")
+                else:
+                    echo(f"--- {name} {status.upper()} after {duration:.1f}s")
+                    if error:
+                        echo(error.rstrip())
+                    echo("")
+                    if not keep_going:
+                        break
     finally:
         common.set_fast_replay(previous_fast)
         if trace_store is not None:

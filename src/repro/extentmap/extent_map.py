@@ -148,6 +148,55 @@ class ExtentMap(AddressMap):
         return sum(ext.length for ext in self._extents)
 
     # ------------------------------------------------------------------ #
+    # Checkpointable state
+    # ------------------------------------------------------------------ #
+
+    def extent_arrays(self):
+        """The full map as three int64 arrays ``(lba, pba, length)``.
+
+        Rows are in LBA order — the map's canonical form — so two maps
+        with identical mappings export identical arrays.  This is the
+        serialization used by service checkpoints
+        (:mod:`repro.service.checkpoint`).
+        """
+        import numpy as np
+
+        n = len(self._extents)
+        lba = np.empty(n, dtype=np.int64)
+        pba = np.empty(n, dtype=np.int64)
+        length = np.empty(n, dtype=np.int64)
+        for i, ext in enumerate(self._extents):
+            lba[i] = ext.lba
+            pba[i] = ext.pba
+            length[i] = ext.length
+        return lba, pba, length
+
+    @classmethod
+    def from_extent_arrays(cls, lba, pba, length) -> "ExtentMap":
+        """Rebuild a map from :meth:`extent_arrays` output.
+
+        The rows must be sorted by LBA and non-overlapping (always true of
+        exported arrays); they are installed directly, bypassing the
+        overwrite logic, so restore is O(n).
+        """
+        instance = cls()
+        extents: List[Extent] = []
+        previous_end = -1
+        for row_lba, row_pba, row_length in zip(
+            lba.tolist(), pba.tolist(), length.tolist()
+        ):
+            if row_lba < previous_end:
+                raise ValueError(
+                    f"extent rows must be LBA-sorted and non-overlapping; "
+                    f"extent at lba={row_lba} overlaps previous end {previous_end}"
+                )
+            extents.append(Extent(row_lba, row_pba, row_length))
+            previous_end = row_lba + row_length
+        instance._extents = extents
+        instance._starts = [ext.lba for ext in extents]
+        return instance
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
 

@@ -13,6 +13,10 @@ is exactly reproducible:
   the translator service path, exercising the simulator's bounded
   retry/backoff (:class:`~repro.core.simulator.RetryPolicy`) and proving
   seek/SAF metrics are unperturbed by retries.
+* :mod:`repro.faults.service_faults` — service-level chaos for the
+  streaming daemon (:mod:`repro.service`): worker ``kill -9``,
+  post-commit checkpoint corruption, and deterministic
+  duplicated/delayed client sends.
 
 Example::
 
@@ -37,9 +41,17 @@ from repro.faults.trace_faults import (
     TraceFaultLog,
     inject_trace_faults,
 )
+from repro.faults.service_faults import (
+    ChaosSchedule,
+    corrupt_newest_checkpoint,
+    kill_worker,
+)
 from repro.faults.transient import FaultyTranslator, TransientFaultConfig
 
 __all__ = [
+    "ChaosSchedule",
+    "corrupt_newest_checkpoint",
+    "kill_worker",
     "CORRUPTION_KINDS",
     "CorruptionLog",
     "CorruptionSpec",

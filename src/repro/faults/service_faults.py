@@ -1,0 +1,128 @@
+"""Service-level chaos: the faults a *daemon* meets, injected on purpose.
+
+:mod:`repro.faults` so far injects faults into a single replay (transient
+read errors, corrupted trace columns).  The streaming service adds whole
+new failure surfaces — worker processes, checkpoint files, a client/server
+protocol — and this module provides one deliberate injector per surface:
+
+* :func:`kill_worker` — ``SIGKILL`` a session worker mid-stream: no
+  atexit, no flush, exactly the crash the WAL contract must absorb.
+* :func:`corrupt_newest_checkpoint` — flip bytes inside the newest
+  checkpoint's array payload *after* it committed.  The ``.npy`` still
+  parses; only the content checksum catches it, forcing recovery to fall
+  back to the previous checkpoint plus a longer journal tail.
+* :class:`ChaosSchedule` — a deterministic, clock-free client-side
+  adversary: given a stream of batches it emits a schedule with
+  duplicated sends and delayed (reordered) sends, exercising the
+  sequence-number dedupe and gap/resync paths without any real timing.
+
+Everything is seeded and deterministic — chaos runs must be replayable
+bug reports, not flaky tests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from repro.service.checkpoint import CheckpointStore
+from repro.util.npystore import PAGE_ALIGN
+
+
+def kill_worker(pid: int) -> None:
+    """``kill -9`` a session worker (no cleanup handler runs)."""
+    os.kill(pid, signal.SIGKILL)
+
+
+def corrupt_newest_checkpoint(
+    session_root: Union[str, Path],
+    seed: int = 0,
+    flips: int = 8,
+) -> Optional[Path]:
+    """Flip ``flips`` bytes inside the newest checkpoint's largest array.
+
+    Bytes are flipped *after* the page-aligned header, so the file still
+    parses as a valid ``.npy`` — the damage is only detectable by the
+    checkpoint's content checksum.  Returns the damaged entry path, or
+    None when there is no checkpoint (nothing to corrupt).
+    """
+    store = CheckpointStore(session_root)
+    seqs = store.sequence_numbers()
+    if not seqs:
+        return None
+    entry = store.entry_path(seqs[-1])
+    arrays = sorted(entry.glob("*.npy"), key=lambda p: p.stat().st_size)
+    if not arrays:
+        return None
+    target = arrays[-1]
+    size = target.stat().st_size
+    if size <= PAGE_ALIGN:
+        return None
+    rng = random.Random(seed)
+    with open(target, "r+b") as handle:
+        for _ in range(max(1, flips)):
+            offset = rng.randrange(PAGE_ALIGN, size)
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xA5]))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return entry
+
+
+class ChaosSchedule:
+    """Deterministic duplicate/delay adversary over a batch stream.
+
+    Args:
+        seed: Drives every decision; same seed, same schedule.
+        duplicate_rate: Probability a sent batch is immediately sent
+            again (a client retry the ack raced with — the server must
+            ack it as a duplicate, applying nothing).
+        delay_rate: Probability a batch is held back and sent *after*
+            its successor (the successor then hits the server as a gap;
+            a resyncing client recovers, a naive one would stall).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        duplicate_rate: float = 0.1,
+        delay_rate: float = 0.1,
+    ) -> None:
+        if not 0 <= duplicate_rate <= 1 or not 0 <= delay_rate <= 1:
+            raise ValueError("rates must be within [0, 1]")
+        self._rng = random.Random(seed)
+        self._duplicate_rate = duplicate_rate
+        self._delay_rate = delay_rate
+
+    def arrange(self, batches: Iterable) -> List[Tuple[str, object]]:
+        """Turn an in-order batch stream into a tagged misdelivery schedule.
+
+        Returns ``(tag, batch)`` pairs in delivery order, where tag is
+        ``"send"``, ``"duplicate"`` (second delivery of the same batch)
+        or ``"delayed"`` (a batch delivered after its successor).  Every
+        batch appears at least once; the final state after a resyncing
+        client drives the schedule equals the clean stream's.
+        """
+        schedule: List[Tuple[str, object]] = []
+        held: Optional[object] = None
+        for batch in batches:
+            if held is not None:
+                # Deliver at most one out-of-order hop late.
+                schedule.append(("send", batch))
+                schedule.append(("delayed", held))
+                held = None
+                continue
+            if self._rng.random() < self._delay_rate:
+                held = batch
+                continue
+            schedule.append(("send", batch))
+            if self._rng.random() < self._duplicate_rate:
+                schedule.append(("duplicate", batch))
+        if held is not None:
+            schedule.append(("delayed", held))
+        return schedule

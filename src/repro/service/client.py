@@ -1,0 +1,217 @@
+"""Blocking client for the replay daemon's newline-JSON protocol.
+
+Small on purpose: a socket, a line reader, and the two behaviours a
+streaming client actually needs —
+
+* **Sequencing.**  :meth:`ReplayClient.apply` numbers batches itself
+  (contiguous from the session's last acknowledged seq), so callers just
+  hand over op columns.
+* **Resync.**  After a reconnect, a shed batch, or a duplicated/delayed
+  send (the chaos schedule produces all three),
+  :meth:`apply_with_retry` re-queries the server's ``applied`` seq and
+  resends from there — the server's dedupe/gap checks make this safe to
+  repeat arbitrarily.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import TechniqueConfig, config_to_dict
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok: false`` (non-shed, non-gap)."""
+
+    def __init__(self, response: dict) -> None:
+        super().__init__(str(response.get("error", response)))
+        self.response = response
+
+
+class ReplayClient:
+    """One tenant's connection to a running daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        timeout_s: float = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self.next_seq = 1
+
+    # ----------------------------------------------------------------- #
+    # Transport
+    # ----------------------------------------------------------------- #
+
+    def connect(self) -> "ReplayClient":
+        self.close_socket()
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        self._file = self._sock.makefile("rwb")
+        return self
+
+    def close_socket(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ReplayClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close_socket()
+
+    def request(self, payload: dict) -> dict:
+        if self._file is None:
+            self.connect()
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    # ----------------------------------------------------------------- #
+    # Session operations
+    # ----------------------------------------------------------------- #
+
+    def open(self, config: TechniqueConfig, capacity_sectors: int) -> dict:
+        """Open (or re-attach to) this tenant's session; syncs next_seq."""
+        response = self.request(
+            {
+                "op": "open",
+                "tenant": self.tenant,
+                "config": config_to_dict(config),
+                "capacity_sectors": int(capacity_sectors),
+            }
+        )
+        if not response.get("ok"):
+            raise ServiceError(response)
+        self.next_seq = int(response.get("applied_seq", 0)) + 1
+        return response
+
+    def apply(
+        self,
+        is_read: np.ndarray,
+        lba: np.ndarray,
+        length: np.ndarray,
+        seq: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Send one batch at ``seq`` (default: the next unacknowledged)."""
+        seq = self.next_seq if seq is None else seq
+        payload = {
+            "op": "apply",
+            "tenant": self.tenant,
+            "seq": seq,
+            "ops": {
+                "is_read": np.asarray(is_read, dtype=bool).astype(int).tolist(),
+                "lba": np.asarray(lba, dtype=np.int64).tolist(),
+                "length": np.asarray(length, dtype=np.int64).tolist(),
+            },
+        }
+        if deadline_s is not None:
+            payload["deadline_s"] = deadline_s
+        response = self.request(payload)
+        if response.get("ok"):
+            self.next_seq = max(self.next_seq, seq + 1)
+        return response
+
+    def applied_seq(self) -> int:
+        result = self.query("applied")
+        return int(result["applied_seq"])
+
+    def apply_with_retry(
+        self,
+        is_read: np.ndarray,
+        lba: np.ndarray,
+        length: np.ndarray,
+        max_attempts: int = 8,
+        backoff_s: float = 0.05,
+        sleep=time.sleep,
+    ) -> dict:
+        """Deliver one batch come what may (shed, gap, crash, reconnect).
+
+        Sheds back off and resend; gaps resync ``next_seq`` from the
+        server and resend; transport errors reconnect.  Duplicate acks
+        count as success (the batch landed, the ack got lost).
+        """
+        seq = self.next_seq
+        for attempt in range(max_attempts):
+            try:
+                response = self.apply(is_read, lba, length, seq=seq)
+            except (ConnectionError, OSError):
+                sleep(backoff_s * (attempt + 1))
+                try:
+                    self.connect()
+                    applied = self.applied_seq()
+                except (ConnectionError, OSError, ServiceError):
+                    continue
+                if applied >= seq:
+                    # The batch landed; only the ack was lost.
+                    self.next_seq = max(self.next_seq, applied + 1)
+                    return {"ok": True, "seq": seq, "applied_seq": applied,
+                            "duplicate": True}
+                continue
+            if response.get("ok"):
+                return response
+            if response.get("shed"):
+                sleep(backoff_s * (attempt + 1))
+                continue
+            if response.get("kind") == "SequenceGapError":
+                # A delayed/duplicated earlier send confused the order;
+                # trust the server's applied seq and renumber.
+                seq = int(response["expected"])
+                self.next_seq = seq
+                continue
+            raise ServiceError(response)
+        raise TimeoutError(
+            f"batch not delivered after {max_attempts} attempts "
+            f"(tenant {self.tenant!r}, seq {seq})"
+        )
+
+    def query(self, kind: str, **params) -> dict:
+        payload = {"op": "query", "tenant": self.tenant, "kind": kind}
+        if params:
+            payload["params"] = params
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response["result"]
+
+    def checkpoint(self) -> dict:
+        response = self.request({"op": "checkpoint", "tenant": self.tenant})
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    def close_session(self) -> dict:
+        response = self.request({"op": "close", "tenant": self.tenant})
+        if not response.get("ok"):
+            raise ServiceError(response)
+        return response
+
+    def shutdown_daemon(self) -> dict:
+        return self.request({"op": "shutdown"})

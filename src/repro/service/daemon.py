@@ -1,0 +1,336 @@
+"""Asyncio front end: many clients, per-tenant queues, deadline shedding.
+
+The daemon is the concurrency boundary of the service.  Everything below
+it is blocking and single-threaded-per-tenant (a supervisor call holds
+the tenant's lock while the worker computes); everything above it is a
+newline-delimited-JSON TCP conversation.  The shape:
+
+* One reader task per client connection parses requests and routes them.
+* One **bounded** :class:`asyncio.Queue` plus one dispatcher task per
+  tenant.  The dispatcher pops a request, checks its deadline, and runs
+  the supervisor call in the shared thread pool — so one slow tenant
+  occupies one pool thread, not the event loop, and ops for a tenant
+  stay strictly ordered.
+
+Backpressure and shedding, per tenant:
+
+* **Admission.**  A request arriving to a full queue is refused
+  immediately (``error: "overloaded"``, ``shed: true``) — the client
+  slows down or goes away; memory stays bounded either way.
+* **Deadline.**  Each request carries its enqueue time; if the
+  dispatcher pops it after ``deadline_s`` (daemon default, overridable
+  per request), it is shed without touching the worker — a queue that
+  built up behind a slow batch drains at queue speed, not worker speed.
+* **Isolation.**  Queues, dispatchers and worker processes are per
+  tenant, so a dead-slow or disconnected client stalls only its own
+  stream; neighbours' queries keep answering at their own pace.
+
+Shed/refused batches are *not* lost: the sequence-number protocol means
+the client just resends from its last acknowledged batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import config_from_dict
+from repro.service.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    TenantFailedError,
+    WorkerCallError,
+)
+from repro.service.worker import encode_ops
+
+#: Ceiling on one request line; protects the loop from a hostile client.
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DaemonConfig:
+    """Front-end policy knobs.
+
+    Attributes:
+        host/port: Bind address (``port=0`` picks a free port; read it
+            back from :attr:`ReplayDaemon.port`).
+        queue_depth: Bounded per-tenant queue length (admission control).
+        deadline_s: Default time a request may wait in queue before being
+            shed.
+        executor_threads: Pool threads shared by all tenants' supervisor
+            calls (each call blocks one thread for its duration).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    queue_depth: int = 16
+    deadline_s: float = 30.0
+    executor_threads: int = 8
+
+    def __post_init__(self) -> None:
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0")
+        if self.executor_threads < 1:
+            raise ValueError("executor_threads must be >= 1")
+
+
+class _Pending:
+    __slots__ = ("message", "future", "enqueued_at", "deadline_s")
+
+    def __init__(self, message, future, enqueued_at, deadline_s):
+        self.message = message
+        self.future = future
+        self.enqueued_at = enqueued_at
+        self.deadline_s = deadline_s
+
+
+class ReplayDaemon:
+    """The streaming replay daemon (see module docs).
+
+    Usage::
+
+        daemon = ReplayDaemon(root, DaemonConfig(port=0))
+        await daemon.start()
+        ...                      # clients connect to daemon.port
+        await daemon.stop()      # checkpoints every session
+    """
+
+    def __init__(
+        self,
+        root: Path,
+        config: Optional[DaemonConfig] = None,
+        supervisor: Optional[Supervisor] = None,
+        supervisor_config: Optional[SupervisorConfig] = None,
+    ) -> None:
+        self._config = config or DaemonConfig()
+        self._supervisor = supervisor or Supervisor(
+            Path(root), config=supervisor_config
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._queues: Dict[str, asyncio.Queue] = {}
+        self._dispatchers: Dict[str, asyncio.Task] = {}
+        self._stopping = False
+        self.port: Optional[int] = None
+
+    @property
+    def supervisor(self) -> Supervisor:
+        return self._supervisor
+
+    # ----------------------------------------------------------------- #
+    # Lifecycle
+    # ----------------------------------------------------------------- #
+
+    async def start(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._config.executor_threads,
+            thread_name_prefix="repro-serve",
+        )
+        self._server = await asyncio.start_server(
+            self._serve_client,
+            host=self._config.host,
+            port=self._config.port,
+            limit=MAX_LINE_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Clean shutdown: stop intake, drain nothing, checkpoint all."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._dispatchers.values():
+            task.cancel()
+        for task in self._dispatchers.values():
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._dispatchers.clear()
+        for queue in self._queues.values():
+            while not queue.empty():
+                pending = queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.set_result(
+                        {"ok": False, "error": "daemon stopping", "shed": True}
+                    )
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(self._executor, self._supervisor.shutdown)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ----------------------------------------------------------------- #
+    # Client protocol
+    # ----------------------------------------------------------------- #
+
+    async def _serve_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._reply(
+                        writer, {"ok": False, "error": "request line too long"}
+                    )
+                    break
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await self._reply(
+                        writer, {"ok": False, "error": f"bad json: {exc}"}
+                    )
+                    continue
+                response = await self._handle(request)
+                await self._reply(writer, response)
+                if request.get("op") == "shutdown" and response.get("ok"):
+                    asyncio.get_running_loop().create_task(self._shutdown_soon())
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished; its tenant state is unaffected
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _shutdown_soon(self) -> None:
+        await self.stop()
+
+    @staticmethod
+    async def _reply(writer: asyncio.StreamWriter, response: dict) -> None:
+        writer.write(json.dumps(response).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    # ----------------------------------------------------------------- #
+    # Routing
+    # ----------------------------------------------------------------- #
+
+    async def _handle(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "tenants": self._supervisor.tenants()}
+        if op == "shutdown":
+            return {"ok": True, "stopping": True}
+        tenant = request.get("tenant")
+        if not isinstance(tenant, str) or not tenant:
+            return {"ok": False, "error": "request needs a tenant"}
+        if self._stopping:
+            return {"ok": False, "error": "daemon stopping", "shed": True}
+        if op == "open":
+            return await self._enqueue(tenant, request)
+        if op in ("apply", "query", "checkpoint", "close"):
+            if tenant not in self._queues:
+                return {"ok": False, "error": f"tenant {tenant!r} not open"}
+            return await self._enqueue(tenant, request)
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    async def _enqueue(self, tenant: str, request: dict) -> dict:
+        loop = asyncio.get_running_loop()
+        if tenant not in self._queues:
+            self._queues[tenant] = asyncio.Queue(maxsize=self._config.queue_depth)
+            self._dispatchers[tenant] = loop.create_task(
+                self._dispatch_tenant(tenant), name=f"dispatch-{tenant}"
+            )
+        deadline_s = float(request.get("deadline_s", self._config.deadline_s))
+        pending = _Pending(request, loop.create_future(), loop.time(), deadline_s)
+        try:
+            self._queues[tenant].put_nowait(pending)
+        except asyncio.QueueFull:
+            # Admission control: refuse instead of buffering unboundedly.
+            return {
+                "ok": False,
+                "error": f"tenant {tenant!r} queue full",
+                "shed": True,
+            }
+        return await pending.future
+
+    async def _dispatch_tenant(self, tenant: str) -> None:
+        queue = self._queues[tenant]
+        loop = asyncio.get_running_loop()
+        while True:
+            pending = await queue.get()
+            if loop.time() - pending.enqueued_at > pending.deadline_s:
+                # Expired in queue: shed without burning worker time.
+                if not pending.future.done():
+                    pending.future.set_result(
+                        {"ok": False, "error": "deadline expired in queue", "shed": True}
+                    )
+                continue
+            try:
+                response = await loop.run_in_executor(
+                    self._executor, self._call_blocking, tenant, pending.message
+                )
+            except asyncio.CancelledError:
+                if not pending.future.done():
+                    pending.future.set_result(
+                        {"ok": False, "error": "daemon stopping", "shed": True}
+                    )
+                raise
+            except TenantFailedError as exc:
+                response = {"ok": False, "error": str(exc), "failed": True}
+            except (WorkerCallError, ValueError, KeyError) as exc:
+                response = {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+            except Exception as exc:  # keep the dispatcher alive
+                response = {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+            if not pending.future.done():
+                pending.future.set_result(response)
+
+    # ----------------------------------------------------------------- #
+    # Blocking side (runs in the executor)
+    # ----------------------------------------------------------------- #
+
+    def _call_blocking(self, tenant: str, request: dict) -> dict:
+        op = request["op"]
+        if op == "open":
+            config = config_from_dict(request["config"])
+            frontier_base = int(request["capacity_sectors"])
+            self._supervisor.ensure_tenant(tenant, config, frontier_base)
+            applied = self._supervisor.call(tenant, {"cmd": "query", "kind": "applied"})
+            return {
+                "ok": True,
+                "tenant": tenant,
+                "applied_seq": applied.get("result", {}).get("applied_seq", 0),
+            }
+        if op == "apply":
+            ops = request["ops"]
+            is_read = np.asarray(ops["is_read"], dtype=bool)
+            lba = np.asarray(ops["lba"], dtype=np.int64)
+            length = np.asarray(ops["length"], dtype=np.int64)
+            message = {"cmd": "apply", "seq": int(request["seq"])}
+            message.update(encode_ops(is_read, lba, length))
+            return self._supervisor.call(tenant, message)
+        if op == "query":
+            return self._supervisor.call(
+                tenant,
+                {
+                    "cmd": "query",
+                    "kind": request.get("kind", "applied"),
+                    "params": request.get("params", {}),
+                },
+            )
+        if op == "checkpoint":
+            return self._supervisor.call(tenant, {"cmd": "checkpoint"})
+        if op == "close":
+            self._supervisor.stop_tenant(tenant)
+            return {"ok": True, "tenant": tenant, "closed": True}
+        raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,214 @@
+"""Write-ahead op journal: the recovery half of checkpoint + journal.
+
+Checkpoints are periodic; every batch *between* checkpoints must survive
+``kill -9`` too, or recovered stats drift from the uninterrupted run.
+The session therefore journals each batch — fsynced — **before** applying
+it to the resident engine (classic WAL ordering): if the process dies
+mid-apply, recovery replays the journaled batch on top of the restored
+checkpoint and reaches the identical state; if it dies before the journal
+write completes, the torn record is truncated away and the client (which
+never got an acknowledgement) resends.
+
+Record format, little-endian, self-delimiting::
+
+    magic   u32   0x524A4C31 ("RJL1")
+    seq     u64   batch sequence number (contiguous per tenant, from 1)
+    n       u32   ops in the batch
+    crc     u32   CRC-32 of the payload bytes
+    payload       is_read u8[n] · lba i64[n] · length i64[n]
+
+Torn tails are detected structurally (short header/payload) or by CRC and
+truncated in place; anything before the tear is intact because each
+record was fsynced before acknowledgement.
+
+Segments: one append-only file per checkpoint epoch,
+``<root>/journal/seg-<first_seq:012d>.log`` (named by the first batch seq
+it may contain).  After a checkpoint at batch ``S`` the session rotates
+to ``seg-<S+1>``; pruning keeps every segment that any *retained*
+checkpoint might need, so falling back to the older checkpoint always
+finds its tail.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+_MAGIC = 0x524A4C31
+_HEADER = struct.Struct("<IQII")  # magic, seq, n, crc
+
+
+class JournalRecord:
+    """One journaled batch, decoded back to column arrays."""
+
+    __slots__ = ("seq", "is_read", "lba", "length")
+
+    def __init__(
+        self, seq: int, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
+    ) -> None:
+        self.seq = seq
+        self.is_read = is_read
+        self.lba = lba
+        self.length = length
+
+    def __len__(self) -> int:
+        return len(self.lba)
+
+
+def _encode(seq: int, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray) -> bytes:
+    n = len(lba)
+    payload = (
+        np.ascontiguousarray(is_read, dtype=np.uint8).tobytes()
+        + np.ascontiguousarray(lba, dtype=np.int64).tobytes()
+        + np.ascontiguousarray(length, dtype=np.int64).tobytes()
+    )
+    return _HEADER.pack(_MAGIC, seq, n, zlib.crc32(payload)) + payload
+
+
+def _decode_payload(seq: int, n: int, payload: bytes) -> JournalRecord:
+    is_read = np.frombuffer(payload, dtype=np.uint8, count=n, offset=0).astype(bool)
+    # Copy out of the (possibly unaligned) byte buffer.
+    lba = np.array(np.frombuffer(payload, dtype=np.int64, count=n, offset=n))
+    length = np.array(np.frombuffer(payload, dtype=np.int64, count=n, offset=9 * n))
+    return JournalRecord(seq, is_read, lba, length)
+
+
+def _scan_segment(path: Path, truncate_torn: bool) -> List[JournalRecord]:
+    """Decode a segment, optionally truncating a torn/corrupt tail in place.
+
+    Valid records strictly precede the first damaged byte (records are
+    fsynced in order), so truncation never discards acknowledged data.
+    """
+    records: List[JournalRecord] = []
+    with open(path, "rb") as handle:
+        data = handle.read()
+    offset = 0
+    good_end = 0
+    while offset + _HEADER.size <= len(data):
+        magic, seq, n, crc = _HEADER.unpack_from(data, offset)
+        payload_len = n * (1 + 8 + 8)
+        end = offset + _HEADER.size + payload_len
+        if magic != _MAGIC or end > len(data):
+            break
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            break
+        records.append(_decode_payload(seq, n, payload))
+        offset = end
+        good_end = end
+    if truncate_torn and good_end < len(data):
+        with open(path, "r+b") as handle:
+            handle.truncate(good_end)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return records
+
+
+class OpJournal:
+    """Per-session segmented WAL of op batches.
+
+    Args:
+        root: Session directory; segments live in ``root/journal``.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._dir = Path(root) / "journal"
+        self._dir.mkdir(parents=True, exist_ok=True)
+        self._handle = None
+        self._segment: Optional[Path] = None
+
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    def segment_first_seqs(self) -> List[int]:
+        seqs = []
+        for entry in self._dir.iterdir():
+            name = entry.name
+            if name.startswith("seg-") and name.endswith(".log"):
+                try:
+                    seqs.append(int(name[len("seg-") : -len(".log")]))
+                except ValueError:
+                    continue
+        return sorted(seqs)
+
+    def _segment_path(self, first_seq: int) -> Path:
+        return self._dir / f"seg-{first_seq:012d}.log"
+
+    # ----------------------------------------------------------------- #
+    # Writing
+    # ----------------------------------------------------------------- #
+
+    def open_segment(self, first_seq: int) -> None:
+        """Start (or reopen for append) the segment beginning at ``first_seq``."""
+        self.close()
+        self._segment = self._segment_path(first_seq)
+        self._handle = open(self._segment, "ab")
+
+    def append(
+        self, seq: int, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
+    ) -> None:
+        """Durably journal one batch (fsync before returning)."""
+        if self._handle is None:
+            raise RuntimeError("journal segment not open; call open_segment first")
+        self._handle.write(_encode(seq, is_read, lba, length))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def rotate(self, next_seq: int) -> None:
+        """Close the live segment and start ``seg-<next_seq>`` (post-checkpoint)."""
+        self.open_segment(next_seq)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+            self._segment = None
+
+    # ----------------------------------------------------------------- #
+    # Recovery
+    # ----------------------------------------------------------------- #
+
+    def replay_after(self, applied_seq: int) -> Iterator[JournalRecord]:
+        """Records with ``seq > applied_seq`` across segments, in order.
+
+        Scans every segment that could contain such records (ascending),
+        truncating torn tails as it goes.  Records at or below
+        ``applied_seq`` — duplicates the checkpoint already absorbed — are
+        skipped; a gap in the remainder raises, because it means a
+        journal segment was lost and recovered stats could silently
+        diverge (losing the *tail* is indistinguishable from a clean
+        stop; losing a *middle* segment is not).
+        """
+        expected = applied_seq + 1
+        for first_seq in self.segment_first_seqs():
+            path = self._segment_path(first_seq)
+            for record in _scan_segment(path, truncate_torn=True):
+                if record.seq <= applied_seq:
+                    continue
+                if record.seq != expected:
+                    raise ValueError(
+                        f"journal gap: expected batch {expected}, "
+                        f"found {record.seq} in {path.name}"
+                    )
+                expected += 1
+                yield record
+
+    def prune_below(self, first_seq_needed: int) -> None:
+        """Delete whole segments no retained checkpoint can need.
+
+        A segment is removable only when the *next* segment still covers
+        ``first_seq_needed`` (i.e. its own range ends strictly below it).
+        """
+        seqs = self.segment_first_seqs()
+        for first, nxt in zip(seqs, seqs[1:]):
+            if nxt <= first_seq_needed:
+                try:
+                    self._segment_path(first).unlink()
+                except OSError:
+                    pass

@@ -1,0 +1,394 @@
+"""One tenant's resident replay session.
+
+A session owns the full streaming state for one tenant:
+
+* the chunk-resumable replay engine
+  (:class:`~repro.core.batch.IncrementalBatchReplay`) under the tenant's
+  :class:`~repro.core.config.TechniqueConfig`, with per-read fragment
+  tracking on so the live Fig. 5 CDF is answerable;
+* the incremental analyses — NoLS baseline seek counts (the SAF
+  denominator) and the bounded seek-distance summary (the seek budget);
+* the durability pair — :class:`~repro.service.checkpoint.CheckpointStore`
+  and :class:`~repro.service.journal.OpJournal` — and the WAL contract
+  binding them.
+
+Apply path (:meth:`ReplaySession.apply_batch`), in order:
+
+1. **Dedupe/gap check.**  Batches carry contiguous client sequence
+   numbers from 1.  A batch at or below the last applied seq is
+   acknowledged without effect (the client retried after losing an ack);
+   a batch beyond the next expected seq raises
+   :class:`SequenceGapError` so the client resyncs (queries
+   :meth:`applied_seq` and resends) instead of silently skipping ops.
+2. **Validate.**  Every op must fit under the tenant's declared LBA
+   capacity (the translator's frontier base); a bad batch is rejected
+   *before* journaling, leaving no trace.
+3. **Journal, fsynced.**  The batch is durable before any state changes.
+4. **Apply.**  Feed the engine, the baseline, and the distance summary.
+5. **Maybe checkpoint.**  Every ``checkpoint_interval_ops`` applied ops.
+
+Recovery (:meth:`ReplaySession.open`) inverts this: restore the newest
+checkpoint that verifies (the store deletes ones that don't and falls
+back), then replay the journal tail — batches above the checkpoint's
+seq — through the same apply path minus the journaling.  Because every
+applied batch was journaled first and the engine is bit-exactly
+resumable, the recovered stats equal an uninterrupted run's **exactly**
+(the chaos suite asserts byte identity after ``kill -9`` plus checkpoint
+corruption).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.incremental import (
+    IncrementalDistances,
+    IncrementalNolsBaseline,
+    fragment_cdf_from_hist,
+)
+from repro.core.batch import IncrementalBatchReplay
+from repro.core.config import (
+    TechniqueConfig,
+    build_translator_for_base,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.core.metrics import seek_amplification
+from repro.core.outcomes import SimStats
+from repro.service.checkpoint import CheckpointStore
+from repro.service.journal import OpJournal
+
+#: Default ops between automatic checkpoints.
+DEFAULT_CHECKPOINT_INTERVAL = 50_000
+
+_STATE_VERSION = 1
+
+
+class SequenceGapError(ValueError):
+    """A batch arrived beyond the next expected sequence number."""
+
+    def __init__(self, expected: int, got: int) -> None:
+        super().__init__(f"expected batch seq {expected}, got {got}")
+        self.expected = expected
+        self.got = got
+
+
+class ReplaySession:
+    """Resident streaming replay state for one tenant (see module docs).
+
+    Build fresh sessions with :meth:`create` and recovered ones with
+    :meth:`open`; the constructor wires already-initialized parts.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        root: Path,
+        config: TechniqueConfig,
+        frontier_base: int,
+        engine: IncrementalBatchReplay,
+        baseline: IncrementalNolsBaseline,
+        distances: IncrementalDistances,
+        checkpoints: CheckpointStore,
+        journal: OpJournal,
+        applied_seq: int,
+        checkpoint_interval_ops: int,
+    ) -> None:
+        self.tenant = tenant
+        self.root = root
+        self.config = config
+        self.frontier_base = frontier_base
+        self._engine = engine
+        self._baseline = baseline
+        self._distances = distances
+        self._checkpoints = checkpoints
+        self._journal = journal
+        self._applied_seq = applied_seq
+        self._interval = checkpoint_interval_ops
+        self._ops_at_checkpoint = engine.ops_applied
+
+    # ----------------------------------------------------------------- #
+    # Construction
+    # ----------------------------------------------------------------- #
+
+    @classmethod
+    def create(
+        cls,
+        tenant: str,
+        root: Union[str, Path],
+        config: TechniqueConfig,
+        frontier_base: int,
+        checkpoint_interval_ops: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> "ReplaySession":
+        """Start a brand-new session (no prior state under ``root``)."""
+        if frontier_base <= 0:
+            raise ValueError(f"frontier_base must be > 0, got {frontier_base}")
+        if checkpoint_interval_ops <= 0:
+            raise ValueError(
+                f"checkpoint_interval_ops must be > 0, got {checkpoint_interval_ops}"
+            )
+        root = Path(root)
+        engine = IncrementalBatchReplay(
+            build_translator_for_base(frontier_base, config),
+            trace_name=tenant,
+            track_fragments=True,
+        )
+        journal = OpJournal(root)
+        journal.open_segment(1)
+        session = cls(
+            tenant=tenant,
+            root=root,
+            config=config,
+            frontier_base=frontier_base,
+            engine=engine,
+            baseline=IncrementalNolsBaseline(),
+            distances=IncrementalDistances(),
+            checkpoints=CheckpointStore(root),
+            journal=journal,
+            applied_seq=0,
+            checkpoint_interval_ops=checkpoint_interval_ops,
+        )
+        # Checkpoint zero: even a first-batch crash restores cleanly.
+        session.checkpoint()
+        return session
+
+    @classmethod
+    def open(
+        cls,
+        tenant: str,
+        root: Union[str, Path],
+        config: TechniqueConfig,
+        frontier_base: int,
+        checkpoint_interval_ops: int = DEFAULT_CHECKPOINT_INTERVAL,
+    ) -> "ReplaySession":
+        """Open a session: recover prior state if any, else create fresh.
+
+        Recovery = newest verifying checkpoint + journal tail replay
+        (see module docs).  ``config``/``frontier_base`` must match the
+        checkpointed ones — a mismatch means the caller is trying to
+        resume somebody else's state and raises.
+        """
+        root = Path(root)
+        checkpoints = CheckpointStore(root)
+        latest = checkpoints.load_latest()
+        if latest is None and not OpJournal(root).segment_first_seqs():
+            return cls.create(
+                tenant, root, config, frontier_base, checkpoint_interval_ops
+            )
+        if latest is None:
+            # Journal exists but every checkpoint was destroyed: replay
+            # everything from scratch (checkpoint zero covers this in
+            # practice; total loss still recovers, just slower).
+            seq, state = 0, None
+        else:
+            seq, state = latest
+
+        if state is not None:
+            saved_config = config_from_dict(state["config"])
+            if saved_config != config or int(state["frontier_base"]) != frontier_base:
+                raise ValueError(
+                    f"session {tenant!r}: stored config/capacity does not match "
+                    "the requested one; refusing to mix streams"
+                )
+            if int(state.get("version", -1)) != _STATE_VERSION:
+                raise ValueError(
+                    f"session {tenant!r}: unsupported checkpoint version"
+                )
+            engine = IncrementalBatchReplay.from_state(
+                build_translator_for_base(frontier_base, config), state["engine"]
+            )
+            baseline = IncrementalNolsBaseline()
+            baseline.load_state(state["baseline"])
+            distances = IncrementalDistances()
+            distances.load_state(state["distances"])
+            applied = int(state["applied_seq"])
+        else:
+            engine = IncrementalBatchReplay(
+                build_translator_for_base(frontier_base, config),
+                trace_name=tenant,
+                track_fragments=True,
+            )
+            baseline = IncrementalNolsBaseline()
+            distances = IncrementalDistances()
+            applied = 0
+
+        journal = OpJournal(root)
+        session = cls(
+            tenant=tenant,
+            root=root,
+            config=config,
+            frontier_base=frontier_base,
+            engine=engine,
+            baseline=baseline,
+            distances=distances,
+            checkpoints=checkpoints,
+            journal=journal,
+            applied_seq=applied,
+            checkpoint_interval_ops=checkpoint_interval_ops,
+        )
+        for record in journal.replay_after(applied):
+            session._apply_arrays(record.seq, record.is_read, record.lba, record.length)
+        # Re-anchor: checkpoint the recovered state so the next crash
+        # doesn't replay the same tail again, and rotate the journal.
+        session.checkpoint()
+        return session
+
+    # ----------------------------------------------------------------- #
+    # Apply path
+    # ----------------------------------------------------------------- #
+
+    @property
+    def applied_seq(self) -> int:
+        return self._applied_seq
+
+    @property
+    def ops_applied(self) -> int:
+        return self._engine.ops_applied
+
+    def apply_batch(
+        self,
+        seq: int,
+        is_read: np.ndarray,
+        lba: np.ndarray,
+        length: np.ndarray,
+    ) -> Dict[str, int]:
+        """Durably apply one client batch (see module docs for the order).
+
+        Returns an ack dict; ``duplicate`` is True when the batch had
+        already been applied (client retry after a lost ack).
+        """
+        if seq <= self._applied_seq:
+            return {
+                "seq": seq,
+                "applied_seq": self._applied_seq,
+                "ops": self._engine.ops_applied,
+                "duplicate": True,
+            }
+        if seq != self._applied_seq + 1:
+            raise SequenceGapError(self._applied_seq + 1, seq)
+        is_read = np.ascontiguousarray(is_read, dtype=bool)
+        lba = np.ascontiguousarray(lba, dtype=np.int64)
+        length = np.ascontiguousarray(length, dtype=np.int64)
+        if not (len(is_read) == len(lba) == len(length)):
+            raise ValueError("batch columns must have equal length")
+        if len(lba):
+            if int(length.min()) <= 0 or int(lba.min()) < 0:
+                raise ValueError("ops must have lba >= 0 and length > 0")
+            top = int((lba + length).max())
+            if top > self.frontier_base:
+                raise ValueError(
+                    f"op ends at LBA {top}, beyond the declared capacity "
+                    f"{self.frontier_base}; reopen with a larger capacity"
+                )
+        self._journal.append(seq, is_read, lba, length)
+        self._apply_arrays(seq, is_read, lba, length)
+        if self._engine.ops_applied - self._ops_at_checkpoint >= self._interval:
+            self.checkpoint()
+        return {
+            "seq": seq,
+            "applied_seq": self._applied_seq,
+            "ops": self._engine.ops_applied,
+            "duplicate": False,
+        }
+
+    def _apply_arrays(
+        self, seq: int, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
+    ) -> None:
+        if self._engine.log_structured:
+            self._engine.feed(_as_requests(is_read, lba, length))
+        else:
+            self._engine.feed_arrays(is_read, lba, length)
+        self._distances.feed(*self._engine.drain_distances())
+        self._baseline.feed_arrays(is_read, lba, length)
+        self._applied_seq = seq
+
+    # ----------------------------------------------------------------- #
+    # Checkpointing
+    # ----------------------------------------------------------------- #
+
+    def state_dict(self) -> dict:
+        return {
+            "version": _STATE_VERSION,
+            "tenant": self.tenant,
+            "config": config_to_dict(self.config),
+            "frontier_base": self.frontier_base,
+            "applied_seq": self._applied_seq,
+            "engine": self._engine.state_dict(),
+            "baseline": self._baseline.state_dict(),
+            "distances": self._distances.state_dict(),
+        }
+
+    def checkpoint(self) -> Path:
+        """Snapshot now; rotate the journal; prune unneeded segments."""
+        path = self._checkpoints.save(self._applied_seq, self.state_dict())
+        self._ops_at_checkpoint = self._engine.ops_applied
+        self._journal.rotate(self._applied_seq + 1)
+        retained = self._checkpoints.sequence_numbers()
+        if retained:
+            self._journal.prune_below(min(retained) + 1)
+        return path
+
+    def close(self) -> None:
+        """Checkpoint and release the journal handle."""
+        self.checkpoint()
+        self._journal.close()
+
+    # ----------------------------------------------------------------- #
+    # Live queries
+    # ----------------------------------------------------------------- #
+
+    def stats(self) -> SimStats:
+        return self._engine.stats()
+
+    def query(self, kind: str, **params) -> dict:
+        """Answer one live query from the incrementally-updated summaries.
+
+        Kinds: ``applied`` (sync point for client resync), ``stats``
+        (full counter set), ``saf`` (live Fig. 11 numbers), ``fragment_cdf``
+        (live Fig. 5), ``seek_budget`` (running seek-time totals and the
+        Fig. 4 in-window fraction).
+        """
+        if kind == "applied":
+            return {
+                "applied_seq": self._applied_seq,
+                "ops": self._engine.ops_applied,
+            }
+        if kind == "stats":
+            stats = self._engine.stats()
+            return {field: getattr(stats, field) for field in stats.__dataclass_fields__}
+        if kind == "saf":
+            baseline = SimStats()
+            baseline.read_seeks, baseline.write_seeks = self._baseline.counts()
+            saf = seek_amplification(self._engine.stats(), baseline)
+            return {
+                "read": saf.read,
+                "write": saf.write,
+                "total": saf.total,
+                "baseline_read_seeks": baseline.read_seeks,
+                "baseline_write_seeks": baseline.write_seeks,
+            }
+        if kind == "fragment_cdf":
+            return {"points": fragment_cdf_from_hist(self._engine.fragment_hist)}
+        if kind == "seek_budget":
+            window_gib = float(params.get("window_gib", 2.0))
+            return {
+                "total_seek_ms": self._distances.total_seek_ms(),
+                "read_seek_ms": self._distances.total_seek_ms(read_only=True),
+                "seeks": self._distances.seeks,
+                "read_seeks": self._distances.read_seeks,
+                "fraction_within": self._distances.fraction_within(window_gib),
+            }
+        raise ValueError(f"unknown query kind {kind!r}")
+
+
+def _as_requests(is_read: np.ndarray, lba: np.ndarray, length: np.ndarray):
+    from repro.trace.record import IORequest
+
+    read, write = IORequest.read, IORequest.write
+    return [
+        (read if r else write)(int(a), int(n))
+        for r, a, n in zip(is_read.tolist(), lba.tolist(), length.tolist())
+    ]

@@ -1,0 +1,127 @@
+"""Session worker: one tenant's session hosted in a spawned process.
+
+Isolation is the point: a worker that segfaults, leaks, is ``kill -9``'d
+by the chaos harness, or wedges in a long apply takes down *one* tenant's
+process, and the supervisor restarts it — :meth:`ReplaySession.open`
+recovers the state from checkpoint + journal, so the restart is
+semantically invisible to the client (at most one resent batch, deduped
+by sequence number).
+
+The parent speaks a tiny message protocol over a duplex
+:func:`multiprocessing.Pipe` — dicts in, dicts out, one response per
+request, op columns as raw ``bytes`` (the pickle cost of a list of ints
+dwarfs everything else at streaming rates):
+
+* ``{"cmd": "apply", "seq", "n", "is_read", "lba", "length"}``
+* ``{"cmd": "query", "kind", "params"}``
+* ``{"cmd": "checkpoint"}``
+* ``{"cmd": "crash"}`` — chaos hook: ``os._exit`` without cleanup,
+  exactly what a ``kill -9`` looks like from the parent's side.
+* ``{"cmd": "shutdown"}`` — checkpoint, ack, exit 0.
+
+Responses are ``{"ok": True, ...}`` or ``{"ok": False, "error", "kind"}``.
+A request that raises keeps the worker alive (the error is the client's);
+only ``crash``/``shutdown``/pipe-EOF end the loop.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import config_from_dict
+from repro.service.session import ReplaySession, SequenceGapError
+
+
+def encode_ops(is_read: np.ndarray, lba: np.ndarray, length: np.ndarray) -> dict:
+    """Pack op columns for the pipe (raw little-endian bytes)."""
+    return {
+        "n": int(len(lba)),
+        "is_read": np.ascontiguousarray(is_read, dtype=np.uint8).tobytes(),
+        "lba": np.ascontiguousarray(lba, dtype="<i8").tobytes(),
+        "length": np.ascontiguousarray(length, dtype="<i8").tobytes(),
+    }
+
+
+def decode_ops(message: dict):
+    n = int(message["n"])
+    is_read = np.frombuffer(message["is_read"], dtype=np.uint8, count=n).astype(bool)
+    lba = np.array(np.frombuffer(message["lba"], dtype="<i8", count=n))
+    length = np.array(np.frombuffer(message["length"], dtype="<i8", count=n))
+    return is_read, lba, length
+
+
+def worker_main(
+    conn,
+    tenant: str,
+    root: str,
+    config_dict: dict,
+    frontier_base: int,
+    checkpoint_interval_ops: int,
+) -> None:
+    """Entry point of the spawned worker process."""
+    session: Optional[ReplaySession] = None
+    try:
+        session = ReplaySession.open(
+            tenant=tenant,
+            root=root,
+            config=config_from_dict(config_dict),
+            frontier_base=frontier_base,
+            checkpoint_interval_ops=checkpoint_interval_ops,
+        )
+        conn.send({"ok": True, "ready": True, "applied_seq": session.applied_seq})
+    except Exception as exc:
+        try:
+            conn.send({"ok": False, "ready": False, "error": str(exc), "kind": type(exc).__name__})
+        finally:
+            os._exit(1)
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Parent died or hung up: checkpoint and leave quietly.
+            session.close()
+            return
+        cmd = message.get("cmd")
+        try:
+            if cmd == "apply":
+                ack = session.apply_batch(
+                    int(message["seq"]), *decode_ops(message)
+                )
+                conn.send({"ok": True, **ack})
+            elif cmd == "query":
+                result = session.query(
+                    message["kind"], **message.get("params", {})
+                )
+                conn.send({"ok": True, "result": result})
+            elif cmd == "checkpoint":
+                session.checkpoint()
+                conn.send({"ok": True, "applied_seq": session.applied_seq})
+            elif cmd == "ping":
+                conn.send({"ok": True, "pid": os.getpid()})
+            elif cmd == "crash":
+                # Chaos: die like kill -9 — no checkpoint, no cleanup.
+                os._exit(42)
+            elif cmd == "shutdown":
+                session.close()
+                conn.send({"ok": True, "applied_seq": session.applied_seq})
+                return
+            else:
+                conn.send(
+                    {"ok": False, "error": f"unknown cmd {cmd!r}", "kind": "ValueError"}
+                )
+        except SequenceGapError as exc:
+            conn.send(
+                {
+                    "ok": False,
+                    "error": str(exc),
+                    "kind": "SequenceGapError",
+                    "expected": exc.expected,
+                    "got": exc.got,
+                }
+            )
+        except Exception as exc:
+            conn.send({"ok": False, "error": str(exc), "kind": type(exc).__name__})

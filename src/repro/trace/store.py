@@ -239,7 +239,13 @@ class TraceStore:
         return trace
 
     def store(self, trace: Trace, meta: dict) -> Path:
-        """Compile ``trace`` into the store under ``meta``; returns the path."""
+        """Compile ``trace`` into the store under ``meta``; returns the path.
+
+        Concurrent writers of the same key are benign: the loser detects
+        the winner's published entry (entries are pure functions of their
+        key, so the contents are identical), reuses it and counts it as a
+        hit instead of a store.
+        """
         columns = TraceColumns.from_trace(trace)
         header = {
             "schema": STORE_SCHEMA,
@@ -248,11 +254,14 @@ class TraceStore:
             "ops": len(columns.lba),
             "report": report_to_dict(trace.parse_report),
         }
-        return commit_entry_dir(
+        path, won = commit_entry_dir(
             self.path_for(meta),
             {key: getattr(columns, key) for key in _COLUMN_KEYS},
             header,
         )
+        if not won:
+            self.hits += 1
+        return path
 
     def entries(self):
         """The store's entry paths (empty if the directory doesn't exist).

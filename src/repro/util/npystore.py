@@ -26,7 +26,7 @@ import os
 import shutil
 import struct
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, NamedTuple, Union
 
 import numpy as np
 
@@ -91,24 +91,48 @@ def load_mmap_npy(path: Union[str, Path]) -> np.ndarray:
     return array
 
 
+class CommitOutcome(NamedTuple):
+    """Result of :func:`commit_entry_dir`.
+
+    ``path`` is the published entry either way; ``won`` is False when a
+    concurrent writer of the same key published first and this writer's
+    (byte-identical) work was discarded — callers can count that as a
+    cache hit instead of a store.  Unpacks as a tuple; ``os.fspath`` works
+    on it too, so path-like uses keep working.
+    """
+
+    path: Path
+    won: bool
+
+    def __fspath__(self) -> str:
+        return str(self.path)
+
+
 def commit_entry_dir(
     final_dir: Union[str, Path],
     arrays: Dict[str, np.ndarray],
     header: dict,
-) -> Path:
+) -> CommitOutcome:
     """Atomically publish an entry directory of aligned arrays + header.
 
     Builds ``<final>.<pid>.tmp`` with one ``<key>.npy`` per array and a
     fsynced ``header.json``, then renames the whole directory into place.
-    If another writer won the race (the final directory already exists),
-    the temp directory is discarded and the existing entry stands —
-    entries for one key are byte-identical, so either outcome is correct.
+    If another writer won the race — the final directory already exists,
+    either up front or by the time this writer renames — the temp
+    directory is discarded and the existing entry stands: entries for one
+    key are byte-identical by construction, so either outcome is correct.
+    The loser *detects* the winner and reports ``won=False`` so callers
+    can reuse the published entry and count it as a hit.
     """
     final_dir = Path(final_dir)
+    if final_dir.is_dir():
+        # Already published: don't even build the temp directory.
+        return CommitOutcome(final_dir, won=False)
     final_dir.parent.mkdir(parents=True, exist_ok=True)
     tmp_dir = final_dir.with_name(f"{final_dir.name}.{os.getpid()}.tmp")
     shutil.rmtree(tmp_dir, ignore_errors=True)
     tmp_dir.mkdir(parents=True)
+    won = True
     try:
         for key, array in arrays.items():
             write_aligned_npy(tmp_dir / f"{key}.npy", array)
@@ -123,10 +147,11 @@ def commit_entry_dir(
             if not final_dir.is_dir():
                 raise
             # Concurrent writer finished first; its identical entry stands.
+            won = False
             shutil.rmtree(tmp_dir, ignore_errors=True)
     finally:
         shutil.rmtree(tmp_dir, ignore_errors=True)
-    return final_dir
+    return CommitOutcome(final_dir, won)
 
 
 def remove_entry(path: Union[str, Path]) -> None:

@@ -1,0 +1,59 @@
+"""Shared helpers for the service test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import TechniqueConfig
+from repro.service.session import ReplaySession
+
+#: Declared LBA capacity for synthetic service streams (sectors).
+CAPACITY = 4096
+
+
+def make_columns(n: int, capacity: int = CAPACITY, seed: int = 7):
+    """Deterministic synthetic op columns that fit under ``capacity``."""
+    rng = np.random.default_rng(seed)
+    length = rng.integers(1, 33, size=n).astype(np.int64)
+    lba = rng.integers(0, capacity - 33, size=n).astype(np.int64)
+    is_read = rng.random(n) < 0.5
+    # Lead with a write so reads can hit translated extents early.
+    if n:
+        is_read[0] = False
+    return np.ascontiguousarray(is_read), lba, length
+
+
+def batches(columns, batch_ops: int):
+    """Slice op columns into (seq, is_read, lba, length) batches from 1."""
+    is_read, lba, length = columns
+    out = []
+    for index, start in enumerate(range(0, len(lba), batch_ops)):
+        end = min(start + batch_ops, len(lba))
+        out.append(
+            (index + 1, is_read[start:end], lba[start:end], length[start:end])
+        )
+    return out
+
+
+def reference_queries(
+    tmp_root, config: TechniqueConfig, columns, batch_ops: int = 50
+) -> dict:
+    """Queries of an uninterrupted session fed the whole stream."""
+    session = ReplaySession.create(
+        "reference", tmp_root, config, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    for seq, is_read, lba, length in batches(columns, batch_ops):
+        session.apply_batch(seq, is_read, lba, length)
+    out = {
+        kind: session.query(kind)
+        for kind in ("applied", "stats", "saf", "fragment_cdf", "seek_budget")
+    }
+    session.close()
+    return out
+
+
+def session_queries(session: ReplaySession) -> dict:
+    return {
+        kind: session.query(kind)
+        for kind in ("applied", "stats", "saf", "fragment_cdf", "seek_budget")
+    }

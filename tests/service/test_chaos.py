@@ -1,0 +1,87 @@
+"""Service fault injectors: deterministic schedules, checkpoint corruption."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LS
+from repro.faults.service_faults import ChaosSchedule, corrupt_newest_checkpoint
+from repro.service.checkpoint import CheckpointCorruptError, CheckpointStore
+from repro.service.session import ReplaySession, SequenceGapError
+from tests.service.helpers import (
+    CAPACITY,
+    batches,
+    make_columns,
+    reference_queries,
+    session_queries,
+)
+
+
+def test_schedule_is_deterministic_and_complete():
+    items = list(range(1, 41))
+    first = ChaosSchedule(seed=3, duplicate_rate=0.3, delay_rate=0.3).arrange(items)
+    second = ChaosSchedule(seed=3, duplicate_rate=0.3, delay_rate=0.3).arrange(items)
+    assert first == second
+    delivered = [batch for _, batch in first]
+    assert sorted(set(delivered)) == items  # every batch delivered >= once
+    assert {tag for tag, _ in first} <= {"send", "duplicate", "delayed"}
+    # A different seed produces a different schedule (with these rates).
+    assert ChaosSchedule(seed=4, duplicate_rate=0.3, delay_rate=0.3).arrange(items) != first
+
+
+def test_zero_rates_is_the_clean_stream():
+    items = list(range(10))
+    schedule = ChaosSchedule(seed=0, duplicate_rate=0.0, delay_rate=0.0).arrange(items)
+    assert schedule == [("send", item) for item in items]
+
+
+def test_delayed_batch_lands_after_its_successor():
+    items = list(range(1, 101))
+    schedule = ChaosSchedule(seed=1, duplicate_rate=0.0, delay_rate=0.5).arrange(items)
+    position = {}
+    for index, (tag, batch) in enumerate(schedule):
+        position.setdefault(batch, index)
+        if tag == "delayed":
+            assert batch + 1 in position and position[batch + 1] < index
+    assert pytest.approx(0.5, abs=0.2) == sum(
+        1 for tag, _ in schedule if tag == "delayed"
+    ) / len(items)
+
+
+def test_misdelivered_stream_converges_to_clean_state(tmp_path):
+    """Duplicates ack as duplicates, gaps defer and retry: the final state
+    must equal the clean in-order stream's exactly."""
+    columns = make_columns(300, seed=31)
+    expected = reference_queries(tmp_path / "ref", LS, columns, batch_ops=30)
+
+    session = ReplaySession.create("t", tmp_path / "chaos", LS, CAPACITY)
+    schedule = ChaosSchedule(seed=7, duplicate_rate=0.4, delay_rate=0.4).arrange(
+        batches(columns, 30)
+    )
+    assert {tag for tag, _ in schedule} == {"send", "duplicate", "delayed"}
+    deferred = []
+    for _, (seq, is_read, lba, length) in schedule:
+        try:
+            session.apply_batch(seq, is_read, lba, length)
+        except SequenceGapError:
+            deferred.append((seq, is_read, lba, length))
+    for seq, is_read, lba, length in sorted(deferred, key=lambda b: b[0]):
+        session.apply_batch(seq, is_read, lba, length)
+    assert session.applied_seq == 10
+    assert session_queries(session) == expected
+    session.close()
+
+
+def test_corrupt_newest_checkpoint_targets_only_the_newest(tmp_path):
+    state = {"payload": np.arange(4000, dtype=np.int64)}
+    store = CheckpointStore(tmp_path)
+    store.save(1, state)
+    store.save(2, state)
+    damaged = corrupt_newest_checkpoint(tmp_path, seed=5)
+    assert damaged == store.entry_path(2)
+    with pytest.raises(CheckpointCorruptError):
+        store.load(2)
+    assert store.load(1)["payload"].shape == (4000,)
+
+
+def test_corrupt_newest_checkpoint_without_checkpoints_is_a_noop(tmp_path):
+    assert corrupt_newest_checkpoint(tmp_path) is None

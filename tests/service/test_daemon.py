@@ -1,0 +1,114 @@
+"""Daemon + client over real sockets: protocol, dedupe/gap, shedding."""
+
+import pytest
+
+from repro.core.config import LS, LS_DEFRAG
+from repro.service.client import ReplayClient, ServiceError
+from repro.service.smoke import _DaemonThread
+from tests.service.helpers import CAPACITY, batches, make_columns, reference_queries
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    thread = _DaemonThread(tmp_path_factory.mktemp("daemon-state"))
+    thread.start()
+    yield thread
+    thread.stop()
+
+
+def _client(server, tenant):
+    return ReplayClient("127.0.0.1", server.daemon.port, tenant)
+
+
+def test_stream_matches_offline_reference(server, tmp_path):
+    columns = make_columns(300, seed=21)
+    expected = reference_queries(tmp_path / "ref", LS_DEFRAG, columns, batch_ops=50)
+    with _client(server, "roundtrip") as client:
+        client.open(LS_DEFRAG, CAPACITY)
+        for _, is_read, lba, length in batches(columns, 50):
+            ack = client.apply_with_retry(is_read, lba, length)
+            assert ack["ok"]
+        assert client.applied_seq() == 6
+        assert client.query("stats") == expected["stats"]
+        assert client.query("saf") == expected["saf"]
+        assert [list(p) for p in client.query("fragment_cdf")["points"]] == [
+            list(p) for p in expected["fragment_cdf"]["points"]
+        ]
+
+
+def test_duplicate_ack_and_gap_resync(server):
+    is_read, lba, length = make_columns(30, seed=22)
+    with _client(server, "dedupe") as client:
+        client.open(LS, CAPACITY)
+        first = client.apply(is_read[:10], lba[:10], length[:10], seq=1)
+        assert first["ok"] and first["duplicate"] is False
+
+        resent = client.apply(is_read[:10], lba[:10], length[:10], seq=1)
+        assert resent["ok"] and resent["duplicate"] is True
+        assert resent["applied_seq"] == 1
+
+        gap = client.apply(is_read[10:20], lba[10:20], length[10:20], seq=7)
+        assert not gap["ok"]
+        assert gap["kind"] == "SequenceGapError"
+        assert gap["expected"] == 2
+
+        # apply_with_retry trusts the server's expected seq and renumbers.
+        client.next_seq = 7
+        ack = client.apply_with_retry(is_read[10:20], lba[10:20], length[10:20])
+        assert ack["ok"] and ack["applied_seq"] == 2
+
+
+def test_expired_deadline_is_shed_not_applied(server):
+    is_read, lba, length = make_columns(20, seed=23)
+    with _client(server, "deadline") as client:
+        client.open(LS, CAPACITY)
+        shed = client.apply(is_read, lba, length, deadline_s=-1.0)
+        assert not shed["ok"]
+        assert shed["shed"] is True
+        assert client.applied_seq() == 0
+        # The shed batch was refused, not half-applied: a plain resend of
+        # the same seq goes through.
+        ack = client.apply_with_retry(is_read, lba, length)
+        assert ack["ok"]
+        assert client.applied_seq() == 1
+
+
+def test_close_and_reattach_preserves_applied_seq(server):
+    is_read, lba, length = make_columns(40, seed=24)
+    with _client(server, "reattach") as client:
+        client.open(LS, CAPACITY)
+        client.apply_with_retry(is_read[:20], lba[:20], length[:20])
+        client.apply_with_retry(is_read[20:], lba[20:], length[20:])
+        client.close_session()
+    with _client(server, "reattach") as client:
+        response = client.open(LS, CAPACITY)
+        assert response["applied_seq"] == 2
+        assert client.next_seq == 3
+        # And the config is pinned: reopening differently is refused.
+        with pytest.raises(ServiceError, match="different"):
+            client.open(LS_DEFRAG, CAPACITY)
+
+
+def test_ops_require_an_open_session(server):
+    with _client(server, "ghost") as client:
+        with pytest.raises(ServiceError, match="not open"):
+            client.query("stats")
+
+
+def test_ping_lists_tenants(server):
+    with _client(server, "pinger") as client:
+        response = client.request({"op": "ping"})
+        assert response["ok"]
+        assert isinstance(response["tenants"], list)
+
+
+def test_malformed_requests_get_error_replies(server):
+    with _client(server, "mallory") as client:
+        client.connect()
+        client._file.write(b"this is not json\n")
+        client._file.flush()
+        import json
+
+        assert not json.loads(client._file.readline())["ok"]
+        assert not client.request({"op": "query"})["ok"]  # missing tenant
+        assert not client.request({"op": "frobnicate", "tenant": "x"})["ok"]

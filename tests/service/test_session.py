@@ -1,0 +1,201 @@
+"""ReplaySession: WAL contract, dedupe/gap, crash recovery, live queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LS, LS_ALL, LS_DEFRAG, NOLS
+from repro.faults.service_faults import corrupt_newest_checkpoint
+from repro.service.checkpoint import CheckpointStore
+from repro.service.session import ReplaySession, SequenceGapError
+from tests.service.helpers import (
+    CAPACITY,
+    batches,
+    make_columns,
+    reference_queries,
+    session_queries,
+)
+
+
+def test_apply_acks_and_counts(tmp_path):
+    session = ReplaySession.create("t", tmp_path, LS, CAPACITY)
+    columns = make_columns(120)
+    for seq, is_read, lba, length in batches(columns, 40):
+        ack = session.apply_batch(seq, is_read, lba, length)
+        assert ack == {
+            "seq": seq,
+            "applied_seq": seq,
+            "ops": seq * 40,
+            "duplicate": False,
+        }
+    assert session.applied_seq == 3
+    assert session.ops_applied == 120
+    session.close()
+
+
+def test_duplicate_batch_is_acked_without_effect(tmp_path):
+    session = ReplaySession.create("t", tmp_path, LS, CAPACITY)
+    columns = make_columns(80)
+    for seq, is_read, lba, length in batches(columns, 40):
+        session.apply_batch(seq, is_read, lba, length)
+    before = session_queries(session)
+
+    ack = session.apply_batch(1, *batches(columns, 40)[0][1:])
+    assert ack["duplicate"] is True
+    assert ack["applied_seq"] == 2
+    assert session_queries(session) == before
+    session.close()
+
+
+def test_gap_raises_with_resync_hint(tmp_path):
+    session = ReplaySession.create("t", tmp_path, LS, CAPACITY)
+    is_read, lba, length = make_columns(10)
+    with pytest.raises(SequenceGapError) as excinfo:
+        session.apply_batch(5, is_read, lba, length)
+    assert excinfo.value.expected == 1
+    assert excinfo.value.got == 5
+    session.close()
+
+
+def test_invalid_batch_rejected_before_journaling(tmp_path):
+    session = ReplaySession.create("t", tmp_path, LS, CAPACITY)
+    is_read, lba, length = make_columns(10)
+    bad_lba = lba.copy()
+    bad_lba[3] = CAPACITY  # lba+length crosses the declared capacity
+    with pytest.raises(ValueError, match="beyond the declared capacity"):
+        session.apply_batch(1, is_read, bad_lba, length)
+    with pytest.raises(ValueError, match="length > 0"):
+        session.apply_batch(1, is_read, lba, np.zeros_like(length))
+    with pytest.raises(ValueError, match="equal length"):
+        session.apply_batch(1, is_read[:-1], lba, length)
+    # Nothing was journaled or applied: seq 1 is still next, and the
+    # stream continues exactly as if the bad batches never happened.
+    assert session.applied_seq == 0
+    ack = session.apply_batch(1, is_read, lba, length)
+    assert ack["duplicate"] is False
+    session.close()
+
+
+def test_open_refuses_mismatched_config_or_capacity(tmp_path):
+    ReplaySession.create("t", tmp_path, LS_DEFRAG, CAPACITY).close()
+    with pytest.raises(ValueError, match="refusing to mix"):
+        ReplaySession.open("t", tmp_path, LS, CAPACITY)
+    with pytest.raises(ValueError, match="refusing to mix"):
+        ReplaySession.open("t", tmp_path, LS_DEFRAG, CAPACITY * 2)
+
+
+def test_auto_checkpoint_every_interval(tmp_path):
+    session = ReplaySession.create(
+        "t", tmp_path, LS, CAPACITY, checkpoint_interval_ops=100
+    )
+    columns = make_columns(250)
+    store = CheckpointStore(tmp_path)
+    assert store.sequence_numbers() == [0]
+    for seq, is_read, lba, length in batches(columns, 50):
+        session.apply_batch(seq, is_read, lba, length)
+    # Auto-checkpoints fired at 100 and 200 ops (batches 2 and 4).
+    assert store.sequence_numbers() == [2, 4]
+    session.close()
+
+
+@pytest.mark.parametrize("config", [LS, LS_DEFRAG, LS_ALL, NOLS], ids=lambda c: c.name)
+def test_kill9_recovery_is_bit_identical(tmp_path, config):
+    """Abandon a session mid-stream (no close): reopen must replay the
+    journal tail onto the checkpoint and match the uninterrupted run."""
+    columns = make_columns(400, seed=3)
+    expected = reference_queries(tmp_path / "ref", config, columns, batch_ops=40)
+
+    root = tmp_path / "crashed"
+    session = ReplaySession.create(
+        "t", root, config, CAPACITY, checkpoint_interval_ops=120
+    )
+    all_batches = batches(columns, 40)
+    # 7 batches of 40 ops with a 120-op interval: auto-checkpoints land at
+    # batches 3 and 6, so batch 7 lives only in the journal tail.
+    for seq, is_read, lba, length in all_batches[:7]:
+        session.apply_batch(seq, is_read, lba, length)
+    # kill -9: drop the session without close(); journaled batches beyond
+    # the newest auto-checkpoint only survive via the WAL.  A torn partial
+    # record at the tail (the write the crash interrupted) must not matter.
+    with open(session._journal._segment, "ab") as handle:
+        handle.write(b"\x31LJR\x00torn")
+    del session
+
+    recovered = ReplaySession.open(
+        "t", root, config, CAPACITY, checkpoint_interval_ops=120
+    )
+    assert recovered.applied_seq == 7
+    for seq, is_read, lba, length in all_batches[7:]:
+        recovered.apply_batch(seq, is_read, lba, length)
+    assert session_queries(recovered) == expected
+    recovered.close()
+
+
+def test_corrupt_newest_checkpoint_falls_back_bit_identical(tmp_path):
+    """Damaged newest checkpoint: recovery must fall back to the previous
+    one, replay the *longer* journal tail, and still match exactly."""
+    config = LS_DEFRAG
+    columns = make_columns(400, seed=5)
+    expected = reference_queries(tmp_path / "ref", config, columns, batch_ops=40)
+
+    root = tmp_path / "crashed"
+    session = ReplaySession.create(
+        "t", root, config, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    all_batches = batches(columns, 40)
+    for seq, is_read, lba, length in all_batches[:4]:
+        session.apply_batch(seq, is_read, lba, length)
+    session.checkpoint()  # older, intact
+    for seq, is_read, lba, length in all_batches[4:7]:
+        session.apply_batch(seq, is_read, lba, length)
+    session.checkpoint()  # newest — about to be damaged
+    damaged = corrupt_newest_checkpoint(root, seed=13)
+    assert damaged is not None
+    del session
+
+    recovered = ReplaySession.open("t", root, config, CAPACITY)
+    assert recovered.applied_seq == 7  # checkpoint 4 + journal batches 5..7
+    for seq, is_read, lba, length in all_batches[7:]:
+        recovered.apply_batch(seq, is_read, lba, length)
+    assert session_queries(recovered) == expected
+    recovered.close()
+
+
+def test_total_checkpoint_loss_replays_from_scratch(tmp_path):
+    config = LS
+    columns = make_columns(200, seed=8)
+    expected = reference_queries(tmp_path / "ref", config, columns, batch_ops=50)
+
+    root = tmp_path / "crashed"
+    session = ReplaySession.create(
+        "t", root, config, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    for seq, is_read, lba, length in batches(columns, 50):
+        session.apply_batch(seq, is_read, lba, length)
+    del session  # no close: the journal holds everything past checkpoint 0
+
+    # Destroy every checkpoint; only the journal remains.
+    import shutil
+
+    shutil.rmtree(root / "checkpoints")
+    recovered = ReplaySession.open("t", root, config, CAPACITY)
+    assert recovered.applied_seq == 4
+    assert session_queries(recovered) == expected
+    recovered.close()
+
+
+def test_query_kinds_and_unknown(tmp_path):
+    session = ReplaySession.create("t", tmp_path, LS, CAPACITY)
+    for seq, is_read, lba, length in batches(make_columns(100), 50):
+        session.apply_batch(seq, is_read, lba, length)
+    stats = session.query("stats")
+    assert stats["reads"] + stats["writes"] == 100
+    saf = session.query("saf")
+    assert set(saf) >= {"read", "write", "total", "baseline_read_seeks"}
+    cdf = session.query("fragment_cdf")["points"]
+    assert all(0 <= frac <= 1 for _, frac in cdf)
+    budget = session.query("seek_budget", window_gib=1.0)
+    assert budget["total_seek_ms"] >= budget["read_seek_ms"] >= 0
+    assert 0 <= budget["fraction_within"] <= 1
+    with pytest.raises(ValueError, match="unknown query kind"):
+        session.query("nope")
+    session.close()

@@ -1,0 +1,120 @@
+"""Supervisor: spawned workers, transparent restart, backoff, crash budget.
+
+These tests boot real spawned worker processes; op counts are kept small
+so the suite stays fast (each boot is one interpreter start).
+"""
+
+import pytest
+
+from repro.core.config import LS, LS_DEFRAG
+from repro.faults.service_faults import kill_worker
+from repro.service.supervisor import (
+    Supervisor,
+    SupervisorConfig,
+    TenantFailedError,
+    WorkerCallError,
+)
+from repro.service.worker import encode_ops
+from tests.service.helpers import CAPACITY, batches, make_columns, reference_queries
+
+
+def _apply(supervisor, tenant, batch):
+    seq, is_read, lba, length = batch
+    message = {"cmd": "apply", "seq": seq}
+    message.update(encode_ops(is_read, lba, length))
+    return supervisor.call(tenant, message)
+
+
+def test_kill9_midstream_restart_is_transparent(tmp_path):
+    columns = make_columns(300, seed=2)
+    expected = reference_queries(tmp_path / "ref", LS_DEFRAG, columns, batch_ops=50)
+    supervisor = Supervisor(
+        tmp_path / "state",
+        SupervisorConfig(backoff_base_s=0.01, checkpoint_interval_ops=100),
+    )
+    try:
+        supervisor.ensure_tenant("t", LS_DEFRAG, CAPACITY)
+        with pytest.raises(ValueError, match="different"):
+            supervisor.ensure_tenant("t", LS, CAPACITY)
+
+        all_batches = batches(columns, 50)
+        for batch in all_batches[:3]:
+            assert _apply(supervisor, "t", batch)["ok"]
+
+        pid = supervisor.worker_pid("t")
+        assert pid is not None
+        kill_worker(pid)
+
+        # The very next call detects the death, restarts the worker (WAL
+        # recovery inside) and replays the call once — the caller just
+        # sees a successful ack.
+        for batch in all_batches[3:]:
+            assert _apply(supervisor, "t", batch)["ok"]
+        assert supervisor.restart_count("t") == 1
+        assert supervisor.worker_pid("t") != pid
+
+        for kind in ("stats", "saf", "fragment_cdf", "seek_budget"):
+            live = supervisor.call("t", {"cmd": "query", "kind": kind})
+            assert live["ok"]
+            reference = expected[kind]
+            if kind == "fragment_cdf":
+                assert [list(p) for p in live["result"]["points"]] == [
+                    list(p) for p in reference["points"]
+                ]
+            else:
+                assert live["result"] == reference
+    finally:
+        supervisor.shutdown()
+
+
+def test_crash_during_call_twice_raises_then_recovers(tmp_path):
+    supervisor = Supervisor(
+        tmp_path / "state", SupervisorConfig(backoff_base_s=0.0, backoff_cap_s=0.0)
+    )
+    try:
+        supervisor.ensure_tenant("t", LS, CAPACITY)
+        # "crash" kills the worker before it can answer; the replayed
+        # attempt crashes again, so the call itself must fail cleanly...
+        with pytest.raises(WorkerCallError, match="died twice"):
+            supervisor.call("t", {"cmd": "crash"})
+        # ...but the tenant is not poisoned: the next call restarts.
+        response = supervisor.call("t", {"cmd": "ping"})
+        assert response["ok"]
+        assert supervisor.restart_count("t") == 2
+    finally:
+        supervisor.shutdown()
+
+
+def test_restart_budget_retires_tenant(tmp_path):
+    sleeps = []
+    deaths = []
+    supervisor = Supervisor(
+        tmp_path / "state",
+        SupervisorConfig(
+            backoff_base_s=0.25,
+            backoff_cap_s=1.0,
+            max_restarts=2,
+            crash_window_s=30.0,
+        ),
+        clock=lambda: 0.0,  # every crash lands in one window
+        sleep=sleeps.append,  # recorded, never actually slept
+        on_worker_death=lambda name, n: deaths.append((name, n)),
+    )
+    try:
+        supervisor.ensure_tenant("t", LS, CAPACITY)
+        for _ in range(2):
+            kill_worker(supervisor.worker_pid("t"))
+            assert supervisor.call("t", {"cmd": "ping"})["ok"]
+        # Second restart in the window backed off exponentially from base.
+        assert sleeps == [0.25]
+        assert deaths == [("t", 1), ("t", 2)]
+
+        kill_worker(supervisor.worker_pid("t"))
+        with pytest.raises(TenantFailedError, match="retiring"):
+            supervisor.call("t", {"cmd": "ping"})
+        # The tenant stays failed: no further boot attempts are made.
+        with pytest.raises(TenantFailedError):
+            supervisor.call("t", {"cmd": "ping"})
+        assert supervisor.restart_count("t") == 2
+    finally:
+        supervisor.shutdown()

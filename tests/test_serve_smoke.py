@@ -1,0 +1,63 @@
+"""Tier-1 gate for the streaming service: the full chaos smoke run.
+
+Boots the real daemon (``python -m repro serve-smoke``) in a subprocess:
+three concurrent tenants, one ``kill -9``'d worker, one corrupted
+checkpoint, exact-recovery assertions, clean shutdown.  The subprocess
+boundary doubles as a **hard watchdog** — if any part of the service
+wedges (a lost wakeup, a worker that never answers), the timeout kills
+the whole process tree (workers are daemon processes of the child) and
+the test fails instead of hanging the suite.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Generous ceiling: the run takes ~20 s; a wedged service never finishes.
+WATCHDOG_S = 240
+
+
+@pytest.mark.slow
+def test_serve_smoke_chaos_run_recovers_exactly(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve-smoke",
+        "--root",
+        str(tmp_path / "state"),
+        "--ops",
+        "3000",
+    ]
+    try:
+        proc = subprocess.run(
+            command,
+            env=env,
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            timeout=WATCHDOG_S,
+        )
+    except subprocess.TimeoutExpired as exc:
+        pytest.fail(
+            f"serve-smoke wedged past the {WATCHDOG_S}s watchdog\n"
+            f"stdout:\n{exc.stdout}\nstderr:\n{exc.stderr}"
+        )
+    assert proc.returncode == 0, (
+        f"serve-smoke failed ({proc.returncode})\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+    assert "serve-smoke OK" in proc.stdout
+    # The chaos injections actually happened (they print as they fire).
+    assert "kill -9 alpha worker" in proc.stdout
+    assert "corrupted" in proc.stdout
+    assert "clean shutdown" in proc.stdout
