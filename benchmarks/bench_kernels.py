@@ -322,6 +322,63 @@ def bench_jobs_scaling(scale: float, jobs: int = 4) -> dict:
     }
 
 
+def bench_ingest_parallel(scale: float, jobs: int = 4) -> dict:
+    """Cold-store ingestion of every Table I workload, serial vs. pooled.
+
+    Both cells drive :func:`repro.experiments.runner.ingest_workloads`
+    against *fresh* trace/stream stores, so each pays the full cold path
+    per workload exactly once: synthesis, compiled-trace publication,
+    plain-LS fragment-stream recording and the NoLS baseline.  The cells
+    do identical work (ingestion is per-workload idempotent), so the
+    ratio isolates the pool's scheduling overhead — on a 1-core
+    container jobs=4 cannot win, and the gate only demands it stays
+    close to serial, catching regressions that duplicate ingest work
+    across workers.
+    """
+    import contextlib
+    import io
+    import tempfile
+
+    from repro.experiments.runner import ingest_workloads
+    from repro.workloads import TABLE1
+
+    names = list(TABLE1)
+
+    def run_set(root: str, n_jobs: int) -> None:
+        outcomes = ingest_workloads(
+            names,
+            scale=scale,
+            trace_store=f"{root}/trace-store",
+            stream_store=f"{root}/stream-store",
+            jobs=n_jobs,
+            mp_start_method="fork" if n_jobs > 1 else None,
+        )
+        bad = [o for o in outcomes if not o.ok]
+        if bad:
+            raise RuntimeError(
+                "ingest failures: "
+                + ", ".join(f"{o.name}={o.status}" for o in bad)
+            )
+
+    with tempfile.TemporaryDirectory() as tmp, contextlib.redirect_stdout(
+        io.StringIO()
+    ):
+        reference_s = _timed(lambda: run_set(f"{tmp}/serial", 1), 1)
+        jobs_s = _timed(lambda: run_set(f"{tmp}/jobs", jobs), 1)
+
+    return {
+        "workloads": len(names),
+        "scale": scale,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "reference": {"seconds": round(reference_s, 2)},
+        f"jobs{jobs}": {
+            "seconds": round(jobs_s, 2),
+            "speedup_vs_reference": round(reference_s / jobs_s, 2),
+        },
+    }
+
+
 def bench_runner(scale: float = 0.05) -> dict:
     """Informational: serial vs. jobs=2 wall time over two real exhibits."""
     import contextlib
@@ -363,11 +420,13 @@ def run(n_ops: int, repeat: int, include_runner: bool) -> dict:
         "replay_ls": bench_replay_pair(read_heavy, LS, repeat),
         "replay_ls_all": bench_replay_pair(read_heavy, LS_ALL, repeat),
         "replay_ls_write_heavy": bench_replay_pair(write_heavy, LS, repeat),
+        "replay_ls_write_heavy_all": bench_replay_pair(write_heavy, LS_ALL, repeat),
         "sweep_fig11": bench_fig11_sweep(read_heavy, repeat),
         "sweep_cache_ablation": bench_cache_sweep(read_heavy, repeat),
         "ingest_msr": bench_ingest(read_heavy, repeat),
         "analysis_nols": bench_analysis(read_heavy, repeat),
         "jobs_scaling": bench_jobs_scaling(scale=n_ops / DEFAULT_OPS),
+        "ingest_cold_parallel": bench_ingest_parallel(scale=n_ops / DEFAULT_OPS),
     }
     report = {
         "schema": SCHEMA_VERSION,
@@ -400,7 +459,7 @@ def main(argv=None) -> int:
         parts = [f"reference {pair['reference']['seconds']:8.2f}s"]
         for side in (
             "batch", "sweep", "columnar", "warm_store", "fast",
-            "cold_jobs4", "warm_jobs1", "warm_jobs4",
+            "cold_jobs4", "warm_jobs1", "warm_jobs4", "jobs4",
         ):
             if side in pair:
                 parts.append(

@@ -19,15 +19,23 @@ from pathlib import Path
 
 DEFAULT_TOLERANCE = 0.20
 DEFAULT_MIN_SPEEDUP = 3.0
+DEFAULT_MIN_LS_ALL_SPEEDUP = 4.0
+DEFAULT_MIN_WRITE_HEAVY_SPEEDUP = 5.0
+DEFAULT_MIN_WRITE_HEAVY_ALL_SPEEDUP = 4.0
 DEFAULT_MIN_INGEST_SPEEDUP = 3.0
 DEFAULT_MIN_WARM_SPEEDUP = 10.0
 DEFAULT_MIN_FIG11_SPEEDUP = 5.0
 DEFAULT_MIN_CACHE_SWEEP_SPEEDUP = 10.0
 DEFAULT_MIN_JOBS_SCALING_SPEEDUP = 2.5
+DEFAULT_MIN_COLD_JOBS_SPEEDUP = 1.8
+# Pool overhead bound, not a speedup: cold parallel ingestion on a 1-core
+# container cannot beat serial, but it must not fall far behind it either
+# (a drop means workers re-did per-workload ingest work).
+DEFAULT_MIN_INGEST_PARALLEL_RATIO = 0.6
 
 _SIDES = (
     "reference", "batch", "sweep", "columnar", "warm_store", "fast",
-    "cold_jobs4", "warm_jobs1", "warm_jobs4",
+    "cold_jobs4", "warm_jobs1", "warm_jobs4", "jobs4",
 )
 
 
@@ -51,6 +59,11 @@ def check(
     min_fig11_speedup: float = DEFAULT_MIN_FIG11_SPEEDUP,
     min_cache_sweep_speedup: float = DEFAULT_MIN_CACHE_SWEEP_SPEEDUP,
     min_jobs_scaling_speedup: float = DEFAULT_MIN_JOBS_SCALING_SPEEDUP,
+    min_ls_all_speedup: float = DEFAULT_MIN_LS_ALL_SPEEDUP,
+    min_write_heavy_speedup: float = DEFAULT_MIN_WRITE_HEAVY_SPEEDUP,
+    min_write_heavy_all_speedup: float = DEFAULT_MIN_WRITE_HEAVY_ALL_SPEEDUP,
+    min_cold_jobs_speedup: float = DEFAULT_MIN_COLD_JOBS_SPEEDUP,
+    min_ingest_parallel_ratio: float = DEFAULT_MIN_INGEST_PARALLEL_RATIO,
 ):
     """Yield ``(ok, message)`` per check, comparing like with like."""
     if current.get("ops") != baseline.get("ops"):
@@ -78,6 +91,27 @@ def check(
         f"(required >= {min_speedup:.1f}x)"
     )
 
+    # Kernel-coverage gates: the all-techniques and write-heavy replays
+    # exercise the extent-map write path (batched frontier allocation,
+    # overlay flushes) that the read-heavy headline barely touches.
+    # They engage only when the report carries the entries.
+    for name, floor, label in (
+        ("replay_ls_all", min_ls_all_speedup, "all techniques"),
+        ("replay_ls_write_heavy", min_write_heavy_speedup, "write-heavy"),
+        (
+            "replay_ls_write_heavy_all",
+            min_write_heavy_all_speedup,
+            "write-heavy, all techniques",
+        ),
+    ):
+        entry = current.get("results", {}).get(name, {}).get("batch")
+        if entry is not None:
+            speedup = entry.get("speedup_vs_reference", 0.0)
+            yield speedup >= floor, (
+                f"{name} batch ({label}) speedup {speedup:.2f}x "
+                f"(required >= {floor:.1f}x)"
+            )
+
     # Sweep-engine gates: multi-config (fig11-style) replay and the
     # 16-point cache-capacity ablation, each vs the per-request reference
     # path.  Like the ingest gates, they engage only when the report
@@ -103,6 +137,34 @@ def check(
         yield speedup >= min_jobs_scaling_speedup, (
             f"jobs_scaling warm_jobs4 (exhibits over warm stores) speedup "
             f"{speedup:.2f}x (required >= {min_jobs_scaling_speedup:.1f}x)"
+        )
+
+    # Cold-start: the first parallel run over empty stores must already
+    # beat the storeless serial reference — ingest-first scheduling pays
+    # each workload's synthesis/recording once instead of per worker.
+    jobs_cold = current.get("results", {}).get("jobs_scaling", {}).get("cold_jobs4")
+    if jobs_cold is not None:
+        speedup = jobs_cold.get("speedup_vs_reference", 0.0)
+        yield speedup >= min_cold_jobs_speedup, (
+            f"jobs_scaling cold_jobs4 (cold parallel, empty stores) speedup "
+            f"{speedup:.2f}x (required >= {min_cold_jobs_speedup:.1f}x)"
+        )
+
+    ingest_parallel = current.get("results", {}).get("ingest_cold_parallel", {})
+    jobs_side = next(
+        (
+            side
+            for side in ingest_parallel
+            if side.startswith("jobs") and isinstance(ingest_parallel[side], dict)
+        ),
+        None,
+    )
+    if jobs_side is not None:
+        ratio = ingest_parallel[jobs_side].get("speedup_vs_reference", 0.0)
+        yield ratio >= min_ingest_parallel_ratio, (
+            f"ingest_cold_parallel {jobs_side} vs serial ratio {ratio:.2f}x "
+            f"(required >= {min_ingest_parallel_ratio:.1f}x; bounds pool "
+            "overhead / duplicated ingest work)"
         )
 
     # Ingestion gates apply only when the report carries the entries (older
@@ -149,6 +211,29 @@ def main(argv=None) -> int:
         type=float,
         default=DEFAULT_MIN_JOBS_SCALING_SPEEDUP,
     )
+    parser.add_argument(
+        "--min-ls-all-speedup", type=float, default=DEFAULT_MIN_LS_ALL_SPEEDUP
+    )
+    parser.add_argument(
+        "--min-write-heavy-speedup",
+        type=float,
+        default=DEFAULT_MIN_WRITE_HEAVY_SPEEDUP,
+    )
+    parser.add_argument(
+        "--min-write-heavy-all-speedup",
+        type=float,
+        default=DEFAULT_MIN_WRITE_HEAVY_ALL_SPEEDUP,
+    )
+    parser.add_argument(
+        "--min-cold-jobs-speedup",
+        type=float,
+        default=DEFAULT_MIN_COLD_JOBS_SPEEDUP,
+    )
+    parser.add_argument(
+        "--min-ingest-parallel-ratio",
+        type=float,
+        default=DEFAULT_MIN_INGEST_PARALLEL_RATIO,
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -173,6 +258,11 @@ def main(argv=None) -> int:
         min_fig11_speedup=args.min_fig11_speedup,
         min_cache_sweep_speedup=args.min_cache_sweep_speedup,
         min_jobs_scaling_speedup=args.min_jobs_scaling_speedup,
+        min_ls_all_speedup=args.min_ls_all_speedup,
+        min_write_heavy_speedup=args.min_write_heavy_speedup,
+        min_write_heavy_all_speedup=args.min_write_heavy_all_speedup,
+        min_cold_jobs_speedup=args.min_cold_jobs_speedup,
+        min_ingest_parallel_ratio=args.min_ingest_parallel_ratio,
     ):
         print(("ok   " if ok else "FAIL ") + message)
         failed += 0 if ok else 1

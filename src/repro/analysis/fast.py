@@ -76,9 +76,14 @@ def misorder_rate_fast(trace: Trace, horizon_kib: float = 256.0) -> float:
 
     For each write *i*, scans the following writes until the cumulative
     written volume passes the horizon, looking for one that ends exactly
-    at *i*'s LBA.  Uses prefix sums so the per-write window is found in
-    O(log n); the inner membership test is a searchsorted over the window
-    slice.  Agrees exactly with :func:`repro.analysis.misorder.misorder_rate`.
+    at *i*'s LBA.  Fully vectorized: the per-write window end comes from
+    one batched searchsorted over the volume prefix sums, and the
+    "does any window write end at my LBA" membership test becomes a
+    next-occurrence query — write ends are encoded as sorted
+    ``value_code * (n+1) + position`` keys, so a second batched
+    searchsorted finds, per write, the first later write ending at its
+    LBA, which is then compared against the window bound.  Agrees exactly
+    with :func:`repro.analysis.misorder.misorder_rate`.
     """
     if horizon_kib <= 0:
         raise ValueError(f"horizon_kib must be > 0, got {horizon_kib}")
@@ -91,17 +96,27 @@ def misorder_rate_fast(trace: Trace, horizon_kib: float = 256.0) -> float:
         return 0.0
     ends = lba + length
     horizon = kib_to_sectors(horizon_kib)
-    # volume[i] = sectors written by writes 0..i-1
+    # volume[i] = sectors written by writes 0..i-1; write i's window is
+    # writes j in (i, k[i]) where the cumulative volume of writes
+    # i+1..j-1 stays below the horizon.
     volume = np.concatenate(([0], np.cumsum(length)))
-    flagged = 0
-    # For write i the window is writes j in (i, k) where the cumulative
-    # volume of writes i+1..j-1 stays below the horizon.
-    for i in range(n):
-        # find largest k with volume[k] - volume[i+1] < horizon
-        k = int(np.searchsorted(volume, volume[i + 1] + horizon, side="left"))
-        window = ends[i + 1 : max(i + 1, k)]
-        if window.size and np.any(window == lba[i]):
-            flagged += 1
+    k = np.searchsorted(volume, volume[1:] + horizon, side="left")
+    # Dense value codes shared by ends and lba so equality of sector
+    # addresses becomes equality of codes.
+    codes = np.unique(np.concatenate([ends, lba]), return_inverse=True)[1]
+    ends_code = codes[:n].astype(np.int64)
+    lba_code = codes[n:].astype(np.int64)
+    base = np.int64(n + 1)
+    keys = np.sort(ends_code * base + np.arange(n, dtype=np.int64))
+    keys = np.concatenate([keys, [np.iinfo(np.int64).max]])
+    # Smallest key >= (lba_code[i], i+1) is the first write j > i with
+    # ends[j] == lba[i]; write i is mis-ordered iff that j lands inside
+    # the window, i.e. the key stays below (lba_code[i], k[i]).  A key
+    # with a different (larger) code overshoots the bound because
+    # k[i] <= n < base.
+    queries = lba_code * base + np.arange(1, n + 1, dtype=np.int64)
+    first_match = keys[np.searchsorted(keys[:-1], queries, side="left")]
+    flagged = int(np.count_nonzero(first_match < lba_code * base + k))
     return flagged / n
 
 

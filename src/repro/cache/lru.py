@@ -73,6 +73,25 @@ class LRUCache:
         """
         return all(block in self._blocks for block in self._block_range(pba, length))
 
+    def hit_and_touch(self, pba: int, length: int) -> bool:
+        """One-pass :meth:`contains_range` + :meth:`touch_range`.
+
+        Returns True and marks every covering block most-recently-used
+        iff all of them are resident; on a miss nothing is touched.
+        Exactly equivalent to the two-call sequence, but computes the
+        block range once and probes the resident set once per block —
+        this sits on the per-fragment hot path of the batch kernels.
+        """
+        blocks = self._blocks
+        covering = self._block_range(pba, length)
+        for block in covering:
+            if block not in blocks:
+                return False
+        move = blocks.move_to_end
+        for block in covering:
+            move(block)
+        return True
+
     def touch_range(self, pba: int, length: int) -> None:
         """Mark the blocks covering the range most-recently-used."""
         for block in self._block_range(pba, length):

@@ -77,6 +77,8 @@ from repro.core.translators import (
     LogStructuredTranslator,
     Translator,
 )
+from repro.extentmap.array_map import ArrayExtentMap
+from repro.extentmap.tiers import DEFAULT_KERNEL_TIER, resolve_map_tier
 from repro.trace.record import IORequest
 from repro.trace.trace import Trace
 
@@ -89,6 +91,17 @@ DEFAULT_CHUNK_OPS = 8192
 _KIND_READ = 0
 _KIND_WRITE = 1
 _KIND_DEFRAG = 2
+
+# Run-length cutoffs below which the scalar per-op path beats the
+# vectorized batch entry points (fixed numpy-call overhead dominates on
+# tiny runs).  Purely perf knobs: both paths are exact.
+_MIN_BATCH_WRITE_RUN = 8
+_MIN_BATCH_READ_RUN = 16
+
+#: Reads resolved per ``lookup_pieces_batch`` call on technique
+#: configurations; a defrag rewrite invalidates the resolved window, so
+#: windowing bounds the work thrown away when one fires.
+_READ_RESOLVE_WINDOW = 512
 
 
 class BatchUnsupportedError(ValueError):
@@ -155,7 +168,10 @@ def batch_replay(
         raise BatchUnsupportedError(
             f"no batch kernel for config {config!r}; use the reference Simulator"
         )
-    return batch_replay_translator(trace, build_translator(trace, config), chunk_ops)
+    translator = build_translator(
+        trace, config, address_map_tier=resolve_map_tier(DEFAULT_KERNEL_TIER)
+    )
+    return batch_replay_translator(trace, translator, chunk_ops)
 
 
 def batch_replay_translator(
@@ -175,9 +191,10 @@ def batch_replay_translator(
         raise ValueError(f"chunk_ops must be > 0, got {chunk_ops}")
     engine = IncrementalBatchReplay(translator, trace_name=trace.name)
     if engine.log_structured:
-        requests = trace.requests
-        for start in range(0, len(requests), chunk_ops):
-            engine.feed(requests[start : start + chunk_ops])
+        is_read, lba, length = trace.as_arrays()
+        for start in range(0, len(lba), chunk_ops):
+            stop = start + chunk_ops
+            engine.feed_arrays(is_read[start:stop], lba[start:stop], length[start:stop])
     else:
         # NoLS needs no chunking: one fully vectorized pass over the
         # trace's cached column arrays.
@@ -274,9 +291,6 @@ class IncrementalBatchReplay:
         last snapshot; this is exactly what the service's recovery path
         does.
         """
-        if self._ls is not None:
-            self._feed_log_structured(requests)
-            return
         n = len(requests)
         if n == 0:
             return
@@ -290,17 +304,21 @@ class IncrementalBatchReplay:
     def feed_arrays(
         self, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
     ) -> None:
-        """Replay one batch already in column form (NoLS only).
+        """Replay one batch already in column form (any kernel).
 
-        The log-structured kernel needs per-op technique decisions, so it
-        consumes :class:`IORequest` batches via :meth:`feed`; this zero-
-        conversion path exists for the fully vectorized NoLS kernel.
+        The zero-conversion entry point: the NoLS kernel is one array
+        expression over the columns, and the log-structured kernel splits
+        the batch into write/read runs and drives the address map's batch
+        entry points directly (:meth:`feed` is a thin packing wrapper
+        over this).
         """
         if self._ls is not None:
-            raise BatchUnsupportedError(
-                "feed_arrays is NoLS-only; feed the log-structured kernel "
-                "IORequest batches via feed()"
+            self._feed_ls_arrays(
+                np.ascontiguousarray(is_read, dtype=bool),
+                np.ascontiguousarray(lba, dtype=np.int64),
+                np.ascontiguousarray(length, dtype=np.int64),
             )
+            return
         n = len(lba)
         if n == 0:
             return
@@ -329,9 +347,31 @@ class IncrementalBatchReplay:
         self._translator.head.restore_position(self._head_position)
         self.ops_applied += n
 
-    def _feed_log_structured(self, requests: Sequence[IORequest]) -> None:
+    def _feed_ls_arrays(
+        self, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
+    ) -> None:
+        """The log-structured kernel: run-split, batch-mapped replay.
+
+        The batch is cut into maximal write runs and read runs.  On an
+        :class:`ArrayExtentMap` a write run maps in one call with a
+        single batched frontier reservation (the run's PBAs are one
+        cumulative sum — valid because host writes are the only frontier
+        consumers inside a write run), and a plain-LS read run resolves
+        in one :meth:`~ArrayExtentMap.lookup_pieces_batch` call.
+        Technique configurations resolve reads in windows, replaying the
+        per-read policy decisions (cache/prefetch/defrag) in order; a
+        defrag rewrite moves both the map and the frontier, so it
+        invalidates the resolved window.  Tiny runs and non-array maps
+        take the scalar per-op path — all paths are exact and produce
+        identical access streams, so results are independent of run
+        shape and chunk size.
+        """
+        n = len(lba)
+        if n == 0:
+            return
         translator = self._ls
         amap = translator.address_map
+        batch_map = isinstance(amap, ArrayExtentMap)
         lookup_pieces = amap.lookup_pieces
         map_range = amap.map_range
         defrag = translator.defrag
@@ -345,14 +385,39 @@ class IncrementalBatchReplay:
         frontier_base = translator.frontier_base
         head_position = self._head_position
 
-        # Flat access-stream buffers for this batch (disk accesses only;
-        # cache/buffer hits never move the head).
+        # Stop before the first read crossing the frontier base: ops ahead
+        # of it still apply (the engine ends partially advanced, exactly
+        # like the per-op loop), then the same ValueError is raised.
+        violation = is_read & (lba + length > frontier_base)
+        stop = n
+        bad_op = None
+        if violation.any():
+            stop = int(violation.argmax())
+            bad_op = (int(lba[stop]), int(length[stop]))
+
+        # Access-stream chunks (disk accesses only, in access order).
+        # Vectorized runs append arrays; scalar paths spill into lists
+        # that are drained into a chunk whenever the order requires it.
+        chunks: List[tuple] = []
         pba_buf: List[int] = []
         len_buf: List[int] = []
         kind_buf: List[int] = []
         append_pba = pba_buf.append
         append_len = len_buf.append
         append_kind = kind_buf.append
+
+        def drain_scalar() -> None:
+            if pba_buf:
+                chunks.append(
+                    (
+                        np.asarray(pba_buf, dtype=np.int64),
+                        np.asarray(len_buf, dtype=np.int64),
+                        np.asarray(kind_buf, dtype=np.int8),
+                    )
+                )
+                del pba_buf[:]
+                del len_buf[:]
+                del kind_buf[:]
 
         # Scalar accumulators kept in locals for speed, folded in after.
         reads = writes = 0
@@ -361,84 +426,220 @@ class IncrementalBatchReplay:
         cache_hits = buffer_hits = 0
         defrag_rewrites = defrag_sectors = 0
 
-        for request in requests:
-            req_length = request.length
-            if request.is_write:
-                append_pba(frontier)
-                append_len(req_length)
-                append_kind(_KIND_WRITE)
-                map_range(request.lba, frontier, req_length)
-                frontier += req_length
-                writes += 1
-                sectors_written += req_length
+        if stop:
+            flags = is_read[:stop]
+            edges = np.flatnonzero(np.diff(flags.view(np.int8))) + 1
+            bounds = [0, *edges.tolist(), stop]
+        else:
+            bounds = [0]
+        for run_start, run_stop in zip(bounds[:-1], bounds[1:]):
+            run_ops = run_stop - run_start
+            if not flags[run_start]:
+                # ---------------------------- write run
+                writes += run_ops
+                run_len = length[run_start:run_stop]
+                if batch_map and run_ops >= _MIN_BATCH_WRITE_RUN:
+                    total = int(run_len.sum())
+                    run_pba = np.empty(run_ops, dtype=np.int64)
+                    run_pba[0] = frontier
+                    np.cumsum(run_len[:-1], out=run_pba[1:])
+                    run_pba[1:] += frontier
+                    amap.map_range_batch(lba[run_start:run_stop], run_pba, run_len)
+                    drain_scalar()
+                    chunks.append(
+                        (run_pba, run_len, np.full(run_ops, _KIND_WRITE, np.int8))
+                    )
+                    frontier += total
+                    sectors_written += total
+                else:
+                    for op_lba, op_length in zip(
+                        lba[run_start:run_stop].tolist(), run_len.tolist()
+                    ):
+                        append_pba(frontier)
+                        append_len(op_length)
+                        append_kind(_KIND_WRITE)
+                        map_range(op_lba, frontier, op_length)
+                        frontier += op_length
+                        sectors_written += op_length
                 continue
 
-            req_lba = request.lba
-            if req_lba + req_length > frontier_base:
-                # Engine state is part-way through the batch now; callers
-                # must discard it (restore from a snapshot to continue).
-                raise ValueError(
-                    f"request [{req_lba}, {req_lba + req_length}) crosses the "
-                    f"frontier base {frontier_base}; size the log above the "
-                    "workload's LBA space"
+            # -------------------------------- read run
+            run_lba = lba[run_start:run_stop]
+            run_len = length[run_start:run_stop]
+            if plain and batch_map and run_ops >= _MIN_BATCH_READ_RUN:
+                piece_pba, piece_len, _hole, offsets = amap.lookup_pieces_batch(
+                    run_lba, run_len
                 )
-            pieces = lookup_pieces(req_lba, req_length)
-            fragments = len(pieces)
-            reads += 1
-            sectors_read += req_length
-            read_fragments += fragments
-            if track_fragments:
-                fragment_hist[fragments] = fragment_hist.get(fragments, 0) + 1
-            if plain or fragments == 1:
-                # Unfragmented reads bypass every technique (the paper's
-                # FragmentedRead guard); plain LS has no techniques at all.
+                counts = np.diff(offsets)
+                reads += run_ops
+                sectors_read += int(run_len.sum())
+                read_fragments += int(offsets[-1])
+                fragmented_reads += int(np.count_nonzero(counts > 1))
+                if track_fragments:
+                    values, repeats = np.unique(counts, return_counts=True)
+                    for value, repeat in zip(values.tolist(), repeats.tolist()):
+                        fragment_hist[value] = fragment_hist.get(value, 0) + repeat
+                drain_scalar()
+                chunks.append(
+                    (piece_pba, piece_len, np.full(len(piece_pba), _KIND_READ, np.int8))
+                )
+                continue
+            if not plain and batch_map and run_ops >= _MIN_BATCH_READ_RUN:
+                # Windowed batch resolution + per-read technique replay.
+                # A defrag rewrite moves the map, but only for the range
+                # it rewrote — instead of re-resolving the whole window,
+                # remember the stale ranges and re-resolve just the ops
+                # that overlap one (scalar, against the live map).
+                lba_list = run_lba.tolist()
+                len_list = run_len.tolist()
+                window_base = window_stop = 0
+                p_list: List[int] = []
+                l_list: List[int] = []
+                off_list: List[int] = []
+                stale: List[tuple] = []
+                for j in range(run_ops):
+                    if j >= window_stop:
+                        window_base = j
+                        window_stop = min(j + _READ_RESOLVE_WINDOW, run_ops)
+                        p_arr, l_arr, _h, off = amap.lookup_pieces_batch(
+                            run_lba[window_base:window_stop],
+                            run_len[window_base:window_stop],
+                        )
+                        p_list = p_arr.tolist()
+                        l_list = l_arr.tolist()
+                        off_list = off.tolist()
+                        stale = []
+                    req_lba = lba_list[j]
+                    req_length = len_list[j]
+                    req_end = req_lba + req_length
+                    op_p = p_list
+                    op_l = l_list
+                    lo = off_list[j - window_base]
+                    fragments = off_list[j - window_base + 1] - lo
+                    for stale_start, stale_end in stale:
+                        if stale_start < req_end and req_lba < stale_end:
+                            pieces = lookup_pieces(req_lba, req_length)
+                            op_p = [piece[0] for piece in pieces]
+                            op_l = [piece[1] for piece in pieces]
+                            lo = 0
+                            fragments = len(pieces)
+                            break
+                    reads += 1
+                    sectors_read += req_length
+                    read_fragments += fragments
+                    if track_fragments:
+                        fragment_hist[fragments] = (
+                            fragment_hist.get(fragments, 0) + 1
+                        )
+                    if fragments == 1:
+                        # Unfragmented reads bypass every technique (the
+                        # paper's FragmentedRead guard).
+                        append_pba(op_p[lo])
+                        append_len(op_l[lo])
+                        append_kind(_KIND_READ)
+                        continue
+                    fragmented_reads += 1
+                    for piece in range(lo, lo + fragments):
+                        pba = op_p[piece]
+                        piece_length = op_l[piece]
+                        if cache is not None and cache.lookup(pba, piece_length):
+                            cache_hits += 1
+                            continue
+                        if prefetcher is not None and prefetcher.covers(
+                            pba, piece_length
+                        ):
+                            buffer_hits += 1
+                            continue
+                        append_pba(pba)
+                        append_len(piece_length)
+                        append_kind(_KIND_READ)
+                        if prefetcher is not None:
+                            prefetcher.note_fragment_read(pba, piece_length)
+                        if cache is not None:
+                            cache.admit(pba, piece_length)
+                    if defrag is not None and defrag.should_defragment(
+                        req_lba, req_length, fragments
+                    ):
+                        append_pba(frontier)
+                        append_len(req_length)
+                        append_kind(_KIND_DEFRAG)
+                        map_range(req_lba, frontier, req_length)
+                        frontier += req_length
+                        defrag_rewrites += 1
+                        defrag_sectors += req_length
+                        defrag.note_defragmented(req_lba, req_length)
+                        stale.append((req_lba, req_end))
+                continue
+            # Scalar read path (non-array maps and tiny runs) — the
+            # original per-op logic, shared by every tier.
+            for req_lba, req_length in zip(run_lba.tolist(), run_len.tolist()):
+                pieces = lookup_pieces(req_lba, req_length)
+                fragments = len(pieces)
+                reads += 1
+                sectors_read += req_length
+                read_fragments += fragments
+                if track_fragments:
+                    fragment_hist[fragments] = fragment_hist.get(fragments, 0) + 1
+                if plain or fragments == 1:
+                    for pba, piece_length, _hole in pieces:
+                        append_pba(pba)
+                        append_len(piece_length)
+                        append_kind(_KIND_READ)
+                    if fragments > 1:
+                        fragmented_reads += 1
+                    continue
+                fragmented_reads += 1
                 for pba, piece_length, _hole in pieces:
+                    if cache is not None and cache.lookup(pba, piece_length):
+                        cache_hits += 1
+                        continue
+                    if prefetcher is not None and prefetcher.covers(
+                        pba, piece_length
+                    ):
+                        buffer_hits += 1
+                        continue
                     append_pba(pba)
                     append_len(piece_length)
                     append_kind(_KIND_READ)
-                if fragments > 1:
-                    fragmented_reads += 1
-                continue
+                    if prefetcher is not None:
+                        prefetcher.note_fragment_read(pba, piece_length)
+                    if cache is not None:
+                        cache.admit(pba, piece_length)
+                if defrag is not None and defrag.should_defragment(
+                    req_lba, req_length, fragments
+                ):
+                    append_pba(frontier)
+                    append_len(req_length)
+                    append_kind(_KIND_DEFRAG)
+                    map_range(req_lba, frontier, req_length)
+                    frontier += req_length
+                    defrag_rewrites += 1
+                    defrag_sectors += req_length
+                    defrag.note_defragmented(req_lba, req_length)
 
-            fragmented_reads += 1
-            for pba, piece_length, _hole in pieces:
-                if cache is not None and cache.lookup(pba, piece_length):
-                    cache_hits += 1
-                    continue
-                if prefetcher is not None and prefetcher.covers(pba, piece_length):
-                    buffer_hits += 1
-                    continue
-                append_pba(pba)
-                append_len(piece_length)
-                append_kind(_KIND_READ)
-                if prefetcher is not None:
-                    prefetcher.note_fragment_read(pba, piece_length)
-                if cache is not None:
-                    cache.admit(pba, piece_length)
-            if defrag is not None and defrag.should_defragment(
-                req_lba, req_length, fragments
-            ):
-                append_pba(frontier)
-                append_len(req_length)
-                append_kind(_KIND_DEFRAG)
-                map_range(req_lba, frontier, req_length)
-                frontier += req_length
-                defrag_rewrites += 1
-                defrag_sectors += req_length
-                defrag.note_defragmented(req_lba, req_length)
+        if bad_op is not None:
+            # Match the per-op loop's error contract: the prefix mutated
+            # the map/techniques, but nothing is folded or classified —
+            # the engine must be discarded (restore from a snapshot).
+            raise ValueError(
+                f"request [{bad_op[0]}, {bad_op[0] + bad_op[1]}) crosses the "
+                f"frontier base {frontier_base}; size the log above the "
+                "workload's LBA space"
+            )
 
         self._fold_scalars(
             reads, writes, sectors_read, sectors_written, read_fragments,
             fragmented_reads, cache_hits, buffer_hits, defrag_rewrites,
             defrag_sectors,
         )
-        self.ops_applied += len(requests)
+        self.ops_applied += n
+        drain_scalar()
 
-        if pba_buf:
+        if chunks:
             # Vectorized seek classification over the batch's access stream.
-            pba_arr = np.asarray(pba_buf, dtype=np.int64)
-            len_arr = np.asarray(len_buf, dtype=np.int64)
-            kind_arr = np.asarray(kind_buf, dtype=np.int8)
+            pba_arr = np.concatenate([chunk[0] for chunk in chunks])
+            len_arr = np.concatenate([chunk[1] for chunk in chunks])
+            kind_arr = np.concatenate([chunk[2] for chunk in chunks])
             prev_end = np.empty_like(pba_arr)
             prev_end[0] = pba_arr[0] if head_position is None else head_position
             np.add(pba_arr[:-1], len_arr[:-1], out=prev_end[1:])

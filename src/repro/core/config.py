@@ -67,27 +67,45 @@ its rewrites don't churn data the cache already holds — see the
 ALL_CONFIGS: Tuple[TechniqueConfig, ...] = (NOLS,) + PAPER_CONFIGS + (LS_ALL,)
 
 
-def build_translator(trace: Trace, config: TechniqueConfig) -> Translator:
+def build_translator(
+    trace: Trace,
+    config: TechniqueConfig,
+    address_map_tier: Optional[str] = None,
+) -> Translator:
     """Construct a fresh translator for replaying ``trace`` under ``config``.
 
     The log frontier is placed at the trace's ``max_end`` so pre-trace data
     resolves at PBA = LBA (§III).
     """
-    return build_translator_for_base(trace.max_end, config)
+    return build_translator_for_base(trace.max_end, config, address_map_tier)
 
 
-def build_translator_for_base(frontier_base: int, config: TechniqueConfig) -> Translator:
+def build_translator_for_base(
+    frontier_base: int,
+    config: TechniqueConfig,
+    address_map_tier: Optional[str] = None,
+) -> Translator:
     """Construct a fresh translator with an explicit log frontier base.
 
     The streaming service (:mod:`repro.service`) uses this: a live session
     has no whole trace to take ``max_end`` from, so the tenant declares the
     LBA capacity its ops will stay under and the log starts there.  For the
     in-place baseline the base is irrelevant and ignored.
+
+    ``address_map_tier`` picks the extent-map implementation backing a
+    log-structured translator (see :mod:`repro.extentmap.tiers`): ``None``
+    resolves to the pure-Python reference tier unless the
+    ``REPRO_EXTENT_MAP`` environment variable forces one; the batch
+    kernels pass the ``"array"`` tier explicitly.  Every tier is exact,
+    so the choice never changes results.
     """
     if not config.log_structured:
         return InPlaceTranslator()
+    from repro.extentmap.tiers import make_address_map
+
     return LogStructuredTranslator(
         frontier_base=frontier_base,
+        address_map=make_address_map(address_map_tier),
         defrag=OpportunisticDefrag(config.defrag) if config.defrag else None,
         prefetcher=LookAheadBehindPrefetcher(config.prefetch) if config.prefetch else None,
         cache=SelectiveFragmentCache(config.cache) if config.cache else None,

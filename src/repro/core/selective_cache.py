@@ -86,8 +86,7 @@ class SelectiveFragmentCache:
 
     def lookup(self, pba: int, length: int) -> bool:
         """CheckCache: True (and refresh recency) if the fragment is resident."""
-        if self._lru.contains_range(pba, length):
-            self._lru.touch_range(pba, length)
+        if self._lru.hit_and_touch(pba, length):
             self.hits += 1
             return True
         self.misses += 1

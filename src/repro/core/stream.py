@@ -71,6 +71,12 @@ from repro.core.prefetch import LookAheadBehindPrefetcher
 from repro.core.selective_cache import SelectiveFragmentCache
 from repro.core.simulator import RunResult
 from repro.core.translators import LogStructuredTranslator
+from repro.extentmap.array_map import ArrayExtentMap
+from repro.extentmap.tiers import (
+    DEFAULT_KERNEL_TIER,
+    make_address_map,
+    resolve_map_tier,
+)
 from repro.trace.trace import Trace
 from repro.util.units import BYTES_PER_MIB, SECTOR_BYTES
 
@@ -233,14 +239,38 @@ def record_fragment_stream(
 ) -> FragmentStream:
     """Replay ``trace`` once under plain LS and record the access stream.
 
-    Follows the chunked-sweep pattern of the batch LS kernel (stateful
-    extent-map work in a tight Python loop, buffers flushed to arrays per
-    chunk); ``chunk_ops`` only bounds peak buffer memory and is
-    unobservable in the result.
+    The recording translator runs on the kernel extent-map tier (array by
+    default, :data:`~repro.extentmap.tiers.ENV_TIER` overrides): plain LS
+    has no layout-mutating techniques, so whole read runs resolve through
+    one ``lookup_pieces_batch`` call and write runs allocate their
+    frontier PBAs with a single cumulative sum.  When the tier is forced
+    to ``extent`` the scalar per-op path runs instead; both produce
+    bit-identical streams (``tests/differential``).  ``chunk_ops`` only
+    bounds the scalar path's peak buffer memory and is unobservable in
+    the result.
     """
     if chunk_ops <= 0:
         raise ValueError(f"chunk_ops must be > 0, got {chunk_ops}")
-    translator = LogStructuredTranslator(frontier_base=trace.max_end)
+    translator = LogStructuredTranslator(
+        frontier_base=trace.max_end,
+        address_map=make_address_map(resolve_map_tier(DEFAULT_KERNEL_TIER)),
+    )
+    if isinstance(translator.address_map, ArrayExtentMap):
+        return _record_stream_batched(trace, translator)
+    return _record_stream_scalar(trace, translator, chunk_ops)
+
+
+def _record_stream_scalar(
+    trace: Trace,
+    translator: LogStructuredTranslator,
+    chunk_ops: int,
+) -> FragmentStream:
+    """Per-op recording loop (any :class:`AddressMap` implementation).
+
+    Follows the chunked-sweep pattern of the batch LS kernel (stateful
+    extent-map work in a tight Python loop, buffers flushed to arrays per
+    chunk).
+    """
     amap = translator.address_map
     lookup_pieces = amap.lookup_pieces
     map_range = amap.map_range
@@ -314,6 +344,169 @@ def record_fragment_stream(
             op_chunks.append(np.asarray(op_buf, dtype=np.int64))
             stream_len += len(pba_buf)
 
+    return _assemble_stream(
+        trace,
+        translator,
+        frontier,
+        pba_chunks,
+        len_chunks,
+        kind_chunks,
+        op_chunks,
+        np.asarray(group_start, dtype=np.int64),
+        np.asarray(group_size, dtype=np.int64),
+        reads,
+        writes,
+        sectors_read,
+        sectors_written,
+        read_fragments,
+        fragmented_reads,
+    )
+
+
+def _record_stream_batched(
+    trace: Trace,
+    translator: LogStructuredTranslator,
+) -> FragmentStream:
+    """Run-split recording on an :class:`ArrayExtentMap` translator.
+
+    Plain LS needs no technique windows, so the trace splits into maximal
+    same-kind runs: a write run allocates all its frontier PBAs with one
+    cumulative sum and applies them via ``map_range_batch``; a read run
+    resolves through a single ``lookup_pieces_batch`` call whose
+    ``offsets`` directly yield per-read fragment counts, the fragmented
+    groups, and the repeated ``op_index`` column.  Produces streams
+    bit-identical to :func:`_record_stream_scalar`.
+    """
+    amap = translator.address_map
+    frontier = translator.frontier
+    frontier_base = translator.frontier_base
+
+    is_read, lba_all, len_all = trace.as_arrays()
+    n = int(len_all.shape[0])
+
+    # The scalar loop rejects the first read crossing the frontier base
+    # the moment it reaches it; nothing of the partially-built stream is
+    # observable after the raise, so pre-scanning and failing up front is
+    # exactly equivalent.
+    violating = is_read & (lba_all + len_all > frontier_base)
+    if violating.any():
+        bad = int(violating.argmax())
+        req_lba = int(lba_all[bad])
+        req_length = int(len_all[bad])
+        raise ValueError(
+            f"request [{req_lba}, {req_lba + req_length}) crosses the "
+            f"frontier base {frontier_base}; size the log above the "
+            "workload's LBA space"
+        )
+
+    pba_chunks: List[np.ndarray] = []
+    len_chunks: List[np.ndarray] = []
+    kind_chunks: List[np.ndarray] = []
+    op_chunks: List[np.ndarray] = []
+    group_start_chunks: List[np.ndarray] = []
+    group_size_chunks: List[np.ndarray] = []
+    stream_len = 0
+
+    reads = writes = 0
+    sectors_read = sectors_written = 0
+    read_fragments = fragmented_reads = 0
+
+    if n:
+        edges = np.flatnonzero(is_read[1:] != is_read[:-1]) + 1
+        bounds = [0, *edges.tolist(), n]
+        for run_start, run_stop in zip(bounds[:-1], bounds[1:]):
+            run_ops = run_stop - run_start
+            run_len = len_all[run_start:run_stop]
+            run_total = int(run_len.sum())
+            if not is_read[run_start]:
+                # Write run: batched frontier allocation (exclusive
+                # cumulative sum) + one map_range_batch.
+                run_pba = np.empty(run_ops, dtype=np.int64)
+                run_pba[0] = frontier
+                np.cumsum(run_len[:-1], out=run_pba[1:])
+                run_pba[1:] += frontier
+                amap.map_range_batch(
+                    lba_all[run_start:run_stop], run_pba, run_len
+                )
+                frontier += run_total
+                writes += run_ops
+                sectors_written += run_total
+                pba_chunks.append(run_pba)
+                len_chunks.append(run_len)
+                kind_chunks.append(np.full(run_ops, _KIND_WRITE, dtype=np.int8))
+                op_chunks.append(np.arange(run_start, run_stop, dtype=np.int64))
+                stream_len += run_ops
+                continue
+
+            piece_pba, piece_len, _hole, offsets = amap.lookup_pieces_batch(
+                lba_all[run_start:run_stop], run_len
+            )
+            counts = np.diff(offsets)
+            reads += run_ops
+            sectors_read += run_total
+            read_fragments += int(offsets[-1])
+            fragmented = np.flatnonzero(counts > 1)
+            if fragmented.size:
+                fragmented_reads += int(fragmented.size)
+                group_start_chunks.append(stream_len + offsets[fragmented])
+                group_size_chunks.append(counts[fragmented])
+            pba_chunks.append(piece_pba)
+            len_chunks.append(piece_len)
+            kind_chunks.append(
+                np.full(piece_pba.shape[0], _KIND_READ, dtype=np.int8)
+            )
+            op_chunks.append(
+                np.repeat(np.arange(run_start, run_stop, dtype=np.int64), counts)
+            )
+            stream_len += int(piece_pba.shape[0])
+
+    group_start = (
+        np.concatenate(group_start_chunks)
+        if group_start_chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    group_size = (
+        np.concatenate(group_size_chunks)
+        if group_size_chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    return _assemble_stream(
+        trace,
+        translator,
+        frontier,
+        pba_chunks,
+        len_chunks,
+        kind_chunks,
+        op_chunks,
+        group_start,
+        group_size,
+        reads,
+        writes,
+        sectors_read,
+        sectors_written,
+        read_fragments,
+        fragmented_reads,
+    )
+
+
+def _assemble_stream(
+    trace: Trace,
+    translator: LogStructuredTranslator,
+    frontier: int,
+    pba_chunks: List[np.ndarray],
+    len_chunks: List[np.ndarray],
+    kind_chunks: List[np.ndarray],
+    op_chunks: List[np.ndarray],
+    group_start: np.ndarray,
+    group_size: np.ndarray,
+    reads: int,
+    writes: int,
+    sectors_read: int,
+    sectors_written: int,
+    read_fragments: int,
+    fragmented_reads: int,
+) -> FragmentStream:
+    """Concatenate recording buffers and freeze the finished stream."""
     pba = (
         np.concatenate(pba_chunks) if pba_chunks else np.empty(0, dtype=np.int64)
     )
@@ -331,20 +524,20 @@ def record_fragment_stream(
 
     # Leave the layout translator in the exact reference end-state.
     translator._frontier = frontier
-    if stream_len:
+    if pba.shape[0]:
         translator.head._position = int(pba[-1] + length[-1])
 
     return FragmentStream(
         trace_name=trace.name,
-        frontier_base=frontier_base,
+        frontier_base=translator.frontier_base,
         frontier=frontier,
         layout=translator,
         pba=pba,
         length=length,
         kind=kind,
         op_index=op_index,
-        group_start=np.asarray(group_start, dtype=np.int64),
-        group_size=np.asarray(group_size, dtype=np.int64),
+        group_start=group_start,
+        group_size=group_size,
         reads=reads,
         writes=writes,
         sectors_read=sectors_read,

@@ -192,12 +192,15 @@ class LogStructuredTranslator(Translator):
         :class:`~repro.core.config.TechniqueConfig` and loads this state
         into it (:meth:`load_state` checks the shapes match).
 
-        Requires the address map to be an :class:`ExtentMap` (the default;
-        alternative maps would need their own export).
+        Requires an address map with an ``extent_arrays`` export (both
+        shipped tiers — :class:`ExtentMap` and
+        :class:`~repro.extentmap.array_map.ArrayExtentMap` — have one,
+        and export identical arrays for identical mappings, so snapshots
+        restore across tiers).
         """
-        if not isinstance(self._map, ExtentMap):
+        if not hasattr(self._map, "extent_arrays"):
             raise TypeError(
-                f"state_dict needs an ExtentMap address map, "
+                f"state_dict needs an address map with extent_arrays, "
                 f"got {type(self._map).__name__}"
             )
         map_lba, map_pba, map_length = self._map.extent_arrays()
@@ -237,7 +240,10 @@ class LogStructuredTranslator(Translator):
                     f"translator but {'present' if snapshot else 'absent'} "
                     "in the snapshot"
                 )
-        self._map = ExtentMap.from_extent_arrays(
+        # Rebuild with the tier this translator was constructed with: the
+        # exported arrays are tier-independent canonical form, so a
+        # snapshot taken on one tier restores exactly onto any other.
+        self._map = type(self._map).from_extent_arrays(
             state["map_lba"], state["map_pba"], state["map_length"]
         )
         self._frontier_base = int(state["frontier_base"])

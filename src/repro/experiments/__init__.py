@@ -16,6 +16,7 @@ from repro.experiments.runner import (
     ExhibitTimeoutError,
     RunManifest,
     exhibit_fingerprint,
+    ingest_workloads,
     run_exhibits,
 )
 from repro.experiments.sweep import SweepEngine, reset_sweep_engines, sweep_engine
@@ -28,6 +29,7 @@ __all__ = [
     "ExhibitTimeoutError",
     "RunManifest",
     "exhibit_fingerprint",
+    "ingest_workloads",
     "run_exhibits",
     "SweepEngine",
     "reset_sweep_engines",

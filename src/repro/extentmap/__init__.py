@@ -8,6 +8,12 @@ implementations are provided:
   a sorted list of non-overlapping extents with bisect lookup and
   split/trim on overwrite.  Memory is proportional to *fragmentation*, not
   address-space size.
+* :class:`~repro.extentmap.array_map.ArrayExtentMap` — a numpy-backed
+  two-level (base arrays + small overlay) tier engineered for the write
+  path, with batch entry points for the replay kernels; selected via
+  :func:`~repro.extentmap.tiers.make_address_map` (see
+  :mod:`repro.extentmap.tiers` for the tier registry and the
+  ``REPRO_EXTENT_MAP`` override).
 * :class:`~repro.extentmap.block_map.BlockMap` — a block-granular dict used
   as an executable specification; property tests assert the two agree on
   random operation sequences.
@@ -21,6 +27,28 @@ exactly the paper's "dynamic fragmentation" of that read.
 from repro.extentmap.base import Segment, AddressMap
 from repro.extentmap.extent import Extent
 from repro.extentmap.extent_map import ExtentMap
+from repro.extentmap.array_map import ArrayExtentMap
 from repro.extentmap.block_map import BlockMap
+from repro.extentmap.tiers import (
+    DEFAULT_KERNEL_TIER,
+    DEFAULT_REFERENCE_TIER,
+    ENV_TIER,
+    MAP_TIERS,
+    make_address_map,
+    resolve_map_tier,
+)
 
-__all__ = ["Segment", "AddressMap", "Extent", "ExtentMap", "BlockMap"]
+__all__ = [
+    "Segment",
+    "AddressMap",
+    "Extent",
+    "ExtentMap",
+    "ArrayExtentMap",
+    "BlockMap",
+    "make_address_map",
+    "resolve_map_tier",
+    "MAP_TIERS",
+    "ENV_TIER",
+    "DEFAULT_KERNEL_TIER",
+    "DEFAULT_REFERENCE_TIER",
+]

@@ -19,6 +19,29 @@ from repro.extentmap.base import AddressMap, Segment
 from repro.extentmap.extent import Extent
 
 
+def validate_extent_rows(lba, length) -> None:
+    """Validate ``from_extent_arrays`` rows (shared across map tiers):
+    strictly positive lengths, LBA-sorted, non-overlapping."""
+    if len(lba) == 0:
+        return
+    bad = length <= 0
+    if bad.any():
+        row = int(bad.argmax())
+        raise ValueError(
+            f"extent rows must have length > 0; row {row} has "
+            f"length {int(length[row])}"
+        )
+    previous_end = lba[:-1] + length[:-1]
+    overlap = lba[1:] < previous_end
+    if overlap.any():
+        row = int(overlap.argmax())
+        raise ValueError(
+            f"extent rows must be LBA-sorted and non-overlapping; "
+            f"extent at lba={int(lba[row + 1])} overlaps previous end "
+            f"{int(previous_end[row])}"
+        )
+
+
 class ExtentMap(AddressMap):
     """Sorted non-overlapping extent map with split/trim overwrite semantics."""
 
@@ -158,40 +181,51 @@ class ExtentMap(AddressMap):
         with identical mappings export identical arrays.  This is the
         serialization used by service checkpoints
         (:mod:`repro.service.checkpoint`).
+
+        One C-level ``fromiter`` pass over a flattened generator plus
+        three strided copies, instead of a per-extent Python loop of
+        array-item stores.
         """
         import numpy as np
 
         n = len(self._extents)
-        lba = np.empty(n, dtype=np.int64)
-        pba = np.empty(n, dtype=np.int64)
-        length = np.empty(n, dtype=np.int64)
-        for i, ext in enumerate(self._extents):
-            lba[i] = ext.lba
-            pba[i] = ext.pba
-            length[i] = ext.length
-        return lba, pba, length
+        flat = np.fromiter(
+            (
+                value
+                for ext in self._extents
+                for value in (ext.lba, ext.pba, ext.length)
+            ),
+            dtype=np.int64,
+            count=3 * n,
+        )
+        return (
+            np.ascontiguousarray(flat[0::3]),
+            np.ascontiguousarray(flat[1::3]),
+            np.ascontiguousarray(flat[2::3]),
+        )
 
     @classmethod
     def from_extent_arrays(cls, lba, pba, length) -> "ExtentMap":
         """Rebuild a map from :meth:`extent_arrays` output.
 
-        The rows must be sorted by LBA and non-overlapping (always true of
-        exported arrays); they are installed directly, bypassing the
-        overwrite logic, so restore is O(n).
+        The rows must be sorted by LBA, non-overlapping, with strictly
+        positive lengths (always true of exported arrays); they are
+        installed directly, bypassing the overwrite logic, so restore is
+        O(n).  A zero/negative-length row would silently corrupt later
+        bisect lookups, so it is rejected up front.
         """
+        import numpy as np
+
         instance = cls()
-        extents: List[Extent] = []
-        previous_end = -1
-        for row_lba, row_pba, row_length in zip(
-            lba.tolist(), pba.tolist(), length.tolist()
-        ):
-            if row_lba < previous_end:
-                raise ValueError(
-                    f"extent rows must be LBA-sorted and non-overlapping; "
-                    f"extent at lba={row_lba} overlaps previous end {previous_end}"
-                )
-            extents.append(Extent(row_lba, row_pba, row_length))
-            previous_end = row_lba + row_length
+        validate_extent_rows(
+            np.asarray(lba, dtype=np.int64), np.asarray(length, dtype=np.int64)
+        )
+        extents = [
+            Extent(row_lba, row_pba, row_length)
+            for row_lba, row_pba, row_length in zip(
+                lba.tolist(), pba.tolist(), length.tolist()
+            )
+        ]
         instance._extents = extents
         instance._starts = [ext.lba for ext in extents]
         return instance

@@ -58,8 +58,18 @@ from repro.core.config import (
 )
 from repro.core.metrics import seek_amplification
 from repro.core.outcomes import SimStats
+from repro.extentmap.tiers import DEFAULT_KERNEL_TIER, resolve_map_tier
 from repro.service.checkpoint import CheckpointStore
 from repro.service.journal import OpJournal
+
+
+def _SERVICE_MAP_TIER() -> str:
+    """Extent-map tier for session translators: the kernel default
+    (``array``) unless ``REPRO_EXTENT_MAP`` forces one.  Resolved per
+    build so create and checkpoint-restore always agree — and snapshots
+    are tier-portable anyway (canonical extent arrays)."""
+    return resolve_map_tier(DEFAULT_KERNEL_TIER)
+
 
 #: Default ops between automatic checkpoints.
 DEFAULT_CHECKPOINT_INTERVAL = 50_000
@@ -132,7 +142,7 @@ class ReplaySession:
             )
         root = Path(root)
         engine = IncrementalBatchReplay(
-            build_translator_for_base(frontier_base, config),
+            build_translator_for_base(frontier_base, config, _SERVICE_MAP_TIER()),
             trace_name=tenant,
             track_fragments=True,
         )
@@ -198,7 +208,8 @@ class ReplaySession:
                     f"session {tenant!r}: unsupported checkpoint version"
                 )
             engine = IncrementalBatchReplay.from_state(
-                build_translator_for_base(frontier_base, config), state["engine"]
+                build_translator_for_base(frontier_base, config, _SERVICE_MAP_TIER()),
+                state["engine"],
             )
             baseline = IncrementalNolsBaseline()
             baseline.load_state(state["baseline"])
@@ -207,7 +218,7 @@ class ReplaySession:
             applied = int(state["applied_seq"])
         else:
             engine = IncrementalBatchReplay(
-                build_translator_for_base(frontier_base, config),
+                build_translator_for_base(frontier_base, config, _SERVICE_MAP_TIER()),
                 trace_name=tenant,
                 track_fragments=True,
             )
@@ -297,10 +308,7 @@ class ReplaySession:
     def _apply_arrays(
         self, seq: int, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
     ) -> None:
-        if self._engine.log_structured:
-            self._engine.feed(_as_requests(is_read, lba, length))
-        else:
-            self._engine.feed_arrays(is_read, lba, length)
+        self._engine.feed_arrays(is_read, lba, length)
         self._distances.feed(*self._engine.drain_distances())
         self._baseline.feed_arrays(is_read, lba, length)
         self._applied_seq = seq
@@ -384,11 +392,3 @@ class ReplaySession:
         raise ValueError(f"unknown query kind {kind!r}")
 
 
-def _as_requests(is_read: np.ndarray, lba: np.ndarray, length: np.ndarray):
-    from repro.trace.record import IORequest
-
-    read, write = IORequest.read, IORequest.write
-    return [
-        (read if r else write)(int(a), int(n))
-        for r, a, n in zip(is_read.tolist(), lba.tolist(), length.tolist())
-    ]

@@ -109,18 +109,7 @@ def _offline_reference(
     engine = IncrementalBatchReplay(
         build_translator_for_base(capacity, config), track_fragments=True
     )
-    if engine.log_structured:
-        from repro.trace.record import IORequest
-
-        read, write = IORequest.read, IORequest.write
-        engine.feed(
-            [
-                (read if r else write)(int(a), int(n))
-                for r, a, n in zip(is_read.tolist(), lba.tolist(), length.tolist())
-            ]
-        )
-    else:
-        engine.feed_arrays(is_read, lba, length)
+    engine.feed_arrays(is_read, lba, length)
     return engine
 
 

@@ -1,0 +1,210 @@
+"""Cold-start ingestion: stores are primed once, ahead of the exhibits.
+
+``ingest_workloads`` is the standalone entry point; ``run_exhibits``
+schedules the same ingest units ahead of its exhibit shards whenever a
+persistent store is given.  Either way the contract is the same: each
+distinct workload pays synthesis (and, for stream-path exhibits,
+fragment-stream recording) exactly once, ingest failures are non-fatal,
+and an exhibit never re-synthesizes a workload its ingest unit already
+compiled.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import common, registry, runner
+from repro.experiments.runner import (
+    STATUS_FAILED,
+    STATUS_OK,
+    ingest_workloads,
+    run_exhibits,
+)
+from repro.experiments.sweep import reset_sweep_engines
+from repro.trace.store import TraceStore, synthetic_meta
+
+QUIET = {"echo": lambda s: None}
+SEED, SCALE = 42, 0.05
+WORKLOADS = ["hm_1", "usr_0"]
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    def reset():
+        common.set_fast_replay(False)
+        common.set_trace_store(None)
+        common.set_stream_store(None)
+        common.clear_trace_cache()
+        reset_sweep_engines()
+
+    reset()
+    yield
+    reset()
+
+
+def _assert_stores_primed(trace_root, stream_root):
+    store = TraceStore(trace_root)
+    for name in WORKLOADS:
+        assert store.load(synthetic_meta(name, SEED, SCALE)) is not None, name
+    # Stream entries are hash-keyed dirs: one per primed workload.
+    stream_dirs = [p for p in stream_root.iterdir() if p.is_dir()]
+    assert len(stream_dirs) == len(WORKLOADS)
+
+
+class TestIngestWorkloads:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_populates_both_stores(self, tmp_path, jobs):
+        outcomes = ingest_workloads(
+            WORKLOADS,
+            seed=SEED,
+            scale=SCALE,
+            trace_store=str(tmp_path / "traces"),
+            stream_store=str(tmp_path / "streams"),
+            jobs=jobs,
+            mp_start_method="fork" if jobs > 1 else None,
+            **QUIET,
+        )
+        assert [o.status for o in outcomes] == [STATUS_OK] * len(WORKLOADS)
+        assert {o.name for o in outcomes} == set(WORKLOADS)
+        _assert_stores_primed(tmp_path / "traces", tmp_path / "streams")
+
+    def test_deduplicates_names(self, tmp_path):
+        outcomes = ingest_workloads(
+            ["hm_1", "hm_1", "hm_1"],
+            seed=SEED,
+            scale=SCALE,
+            trace_store=str(tmp_path / "traces"),
+            **QUIET,
+        )
+        assert len(outcomes) == 1 and outcomes[0].ok
+
+    def test_unknown_workload_fails_that_unit_only(self, tmp_path):
+        outcomes = ingest_workloads(
+            ["no_such_workload", "hm_1"],
+            seed=SEED,
+            scale=SCALE,
+            trace_store=str(tmp_path / "traces"),
+            **QUIET,
+        )
+        by_name = {o.name: o for o in outcomes}
+        assert by_name["hm_1"].ok
+        assert by_name["no_such_workload"].status == STATUS_FAILED
+
+    def test_serial_run_restores_process_state(self, tmp_path):
+        sentinel = TraceStore(tmp_path / "pre-existing")
+        common.set_trace_store(sentinel)
+        common.set_fast_replay(True)
+        ingest_workloads(
+            ["hm_1"],
+            seed=SEED,
+            scale=SCALE,
+            trace_store=str(tmp_path / "traces"),
+            jobs=1,
+            **QUIET,
+        )
+        assert common.trace_store() is sentinel
+        assert common.fast_replay_default() is True
+
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ValueError, match="jobs"):
+            ingest_workloads(["hm_1"], jobs=0)
+
+
+class TestRunExhibitsIngestFirst:
+    def test_exhibit_starts_warm(self, tmp_path, monkeypatch):
+        """With a trace store, the exhibit unit is gated on its workload's
+        ingest unit: by the time it replays, the synthesis is already
+        compiled — the exhibit's own trace loads never miss."""
+
+        def alpha(seed=42, scale=1.0, out_dir=None):
+            store = common.trace_store()
+            entry = store.load(synthetic_meta("hm_1", seed, scale))
+            common.workload_trace("hm_1", seed, scale)
+            data = {
+                "entry_on_disk_at_start": entry is not None,
+                "misses": store.misses - (0 if entry is not None else 1),
+            }
+            common.save_json("alpha", data, out_dir)
+            return data
+
+        monkeypatch.setitem(registry.EXHIBITS, "alpha", alpha)
+        monkeypatch.setitem(runner.WORKLOADS, "alpha", lambda s, sc: ["hm_1"])
+        outcomes = run_exhibits(
+            ["alpha"],
+            seed=SEED,
+            scale=SCALE,
+            out_dir=str(tmp_path / "out"),
+            jobs=2,
+            trace_store=str(tmp_path / "traces"),
+            mp_start_method="fork",
+            **QUIET,
+        )
+        assert [o.status for o in outcomes] == [STATUS_OK]
+        data = json.loads((tmp_path / "out" / "alpha.json").read_text())
+        assert data["entry_on_disk_at_start"] is True
+        assert data["misses"] == 0
+
+    def test_ingest_failure_does_not_fail_dependents(self, tmp_path, monkeypatch):
+        """A workload whose ingestion explodes leaves its dependents
+        running cold, not cancelled."""
+
+        def alpha(seed=42, scale=1.0, out_dir=None):
+            common.save_json("alpha", {"ran": True}, out_dir)
+            return {"ran": True}
+
+        monkeypatch.setitem(registry.EXHIBITS, "alpha", alpha)
+        monkeypatch.setitem(
+            runner.WORKLOADS, "alpha", lambda s, sc: ["no_such_workload"]
+        )
+        messages = []
+        outcomes = run_exhibits(
+            ["alpha"],
+            seed=SEED,
+            scale=SCALE,
+            out_dir=str(tmp_path / "out"),
+            jobs=2,
+            trace_store=str(tmp_path / "traces"),
+            mp_start_method="fork",
+            echo=messages.append,
+        )
+        assert [o.status for o in outcomes] == [STATUS_OK]
+        assert (tmp_path / "out" / "alpha.json").exists()
+        assert any(
+            "no_such_workload" in m and "continuing without it" in m
+            for m in messages
+        )
+
+    def test_stream_priming_respects_registry_gate(self, tmp_path, monkeypatch):
+        """Only exhibits in STREAM_PRIMING get their workloads' fragment
+        streams pre-recorded; others prime the trace store alone."""
+
+        def alpha(seed=42, scale=1.0, out_dir=None):
+            common.save_json("alpha", {}, out_dir)
+            return {}
+
+        monkeypatch.setitem(registry.EXHIBITS, "alpha", alpha)
+        monkeypatch.setitem(runner.WORKLOADS, "alpha", lambda s, sc: ["hm_1"])
+        stream_root = tmp_path / "streams"
+        run_exhibits(
+            ["alpha"],
+            seed=SEED,
+            scale=SCALE,
+            out_dir=str(tmp_path / "out"),
+            jobs=2,
+            fast=True,
+            trace_store=str(tmp_path / "traces"),
+            stream_store=str(stream_root),
+            mp_start_method="fork",
+            **QUIET,
+        )
+        # "alpha" is not in STREAM_PRIMING: the trace compiled, but no
+        # stream entry was recorded for it.
+        assert TraceStore(tmp_path / "traces").load(
+            synthetic_meta("hm_1", SEED, SCALE)
+        ) is not None
+        stream_dirs = [p for p in stream_root.iterdir() if p.is_dir()] if (
+            stream_root.exists()
+        ) else []
+        assert stream_dirs == []

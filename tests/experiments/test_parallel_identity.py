@@ -92,6 +92,24 @@ def test_full_matrix_is_byte_identical(tmp_path):
         assert dumps == reference, f"{cell} diverged from the serial reference"
 
 
+def test_map_tier_is_byte_identical_across_jobs(tmp_path, monkeypatch):
+    """Forcing either extent-map tier via ``REPRO_EXTENT_MAP`` must leave
+    exhibit JSON untouched, serially and under the fork pool (workers
+    inherit the env, so every worker replays on the forced tier)."""
+    from repro.extentmap.tiers import ENV_TIER, MAP_TIERS
+
+    names = ["fig4", "fig11"]
+    reference = _run(names, tmp_path / "ref", jobs=1, fast=True)
+    assert set(reference) == {"fig4.json", "fig11.json"}
+    for tier in MAP_TIERS:
+        monkeypatch.setenv(ENV_TIER, tier)
+        for jobs in (1, 4):
+            common.clear_trace_cache()
+            reset_sweep_engines()
+            dumps = _run(names, tmp_path / f"{tier}{jobs}", jobs=jobs, fast=True)
+            assert dumps == reference, f"tier={tier} jobs={jobs} diverged"
+
+
 def test_warm_store_records_each_stream_at_most_once(tmp_path, monkeypatch):
     """With a primed store, no process ever re-records a fragment stream —
     including pool workers (fork propagates the poisoned recorder) and

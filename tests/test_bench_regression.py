@@ -65,7 +65,7 @@ def _sweep_report(fig11_speedup=8.0, cache_speedup=20.0, **kwargs):
     return report
 
 
-def _jobs_report(warm_jobs4_speedup=3.5, **kwargs):
+def _jobs_report(warm_jobs4_speedup=3.5, cold_jobs4_speedup=2.0, **kwargs):
     report = _report(**kwargs)
     report["results"]["jobs_scaling"] = {
         "exhibits": ["table1", "fig2"],
@@ -73,11 +73,47 @@ def _jobs_report(warm_jobs4_speedup=3.5, **kwargs):
         "jobs": 4,
         "cpu_count": 1,
         "reference": {"seconds": 35.0},
-        "cold_jobs4": {"seconds": 40.0, "speedup_vs_reference": 0.88},
+        "cold_jobs4": {
+            "seconds": round(35.0 / cold_jobs4_speedup, 4),
+            "speedup_vs_reference": cold_jobs4_speedup,
+        },
         "warm_jobs1": {"seconds": 10.0, "speedup_vs_reference": 3.5},
         "warm_jobs4": {
             "seconds": round(35.0 / warm_jobs4_speedup, 4),
             "speedup_vs_reference": warm_jobs4_speedup,
+        },
+    }
+    return report
+
+
+def _write_heavy_report(ls_all=5.0, write_heavy=6.0, write_heavy_all=6.0, **kwargs):
+    report = _report(**kwargs)
+    for name, speedup in (
+        ("replay_ls_all", ls_all),
+        ("replay_ls_write_heavy", write_heavy),
+        ("replay_ls_write_heavy_all", write_heavy_all),
+    ):
+        report["results"][name] = {
+            "reference": {"seconds": 10.0},
+            "batch": {
+                "seconds": round(10.0 / speedup, 4),
+                "speedup_vs_reference": speedup,
+            },
+        }
+    return report
+
+
+def _ingest_parallel_report(ratio=0.9, **kwargs):
+    report = _report(**kwargs)
+    report["results"]["ingest_cold_parallel"] = {
+        "workloads": 21,
+        "scale": 1.0,
+        "jobs": 4,
+        "cpu_count": 1,
+        "reference": {"seconds": 30.0},
+        "jobs4": {
+            "seconds": round(30.0 / ratio, 4),
+            "speedup_vs_reference": ratio,
         },
     }
     return report
@@ -247,6 +283,95 @@ class TestJobsScalingGate:
         )
         assert all(ok for ok, _ in verdicts)
 
+    def test_cold_speedup_below_floor_fails(self):
+        verdicts = _verdicts(_jobs_report(cold_jobs4_speedup=1.2), _jobs_report())
+        failures = [m for ok, m in verdicts if not ok]
+        assert any("cold_jobs4" in m and "speedup" in m for m in failures)
+
+    def test_custom_cold_floor_is_respected(self):
+        report = _jobs_report(cold_jobs4_speedup=1.2)
+        verdicts = list(
+            check_regression.check(
+                report, report, 0.2, 3.0, min_cold_jobs_speedup=1.0
+            )
+        )
+        assert all(ok for ok, _ in verdicts)
+
+
+class TestWriteHeavyGates:
+    """The write-path replay gates (all-techniques and write-heavy pairs)
+    engage only when the report carries the entries."""
+
+    def test_report_without_entries_emits_no_gate(self):
+        verdicts = _verdicts(_report(), _report())
+        assert not any("write_heavy" in m for _, m in verdicts)
+        assert not any("replay_ls_all" in m for _, m in verdicts)
+
+    def test_healthy_report_passes_all_three(self):
+        verdicts = _verdicts(_write_heavy_report(), _write_heavy_report())
+        assert all(ok for ok, _ in verdicts)
+        for name in (
+            "replay_ls_all",
+            "replay_ls_write_heavy",
+            "replay_ls_write_heavy_all",
+        ):
+            assert any(name in m and "speedup" in m for _, m in verdicts), name
+
+    def test_each_floor_fails_independently(self):
+        for kwargs, needle in (
+            ({"ls_all": 3.9}, "replay_ls_all"),
+            ({"write_heavy": 4.9}, "replay_ls_write_heavy batch"),
+            ({"write_heavy_all": 3.9}, "replay_ls_write_heavy_all"),
+        ):
+            verdicts = _verdicts(_write_heavy_report(**kwargs), _write_heavy_report())
+            failures = [m for ok, m in verdicts if not ok]
+            assert any(needle in m for m in failures), (kwargs, failures)
+
+    def test_custom_floors_are_respected(self):
+        report = _write_heavy_report(ls_all=2.0, write_heavy=2.0, write_heavy_all=2.0)
+        verdicts = list(
+            check_regression.check(
+                report,
+                report,
+                0.2,
+                1.5,
+                min_ls_all_speedup=1.5,
+                min_write_heavy_speedup=1.5,
+                min_write_heavy_all_speedup=1.5,
+            )
+        )
+        assert all(ok for ok, _ in verdicts)
+
+
+class TestIngestParallelGate:
+    """The parallel-ingestion ratio gate bounds pool overhead; it engages
+    only when the report carries an ``ingest_cold_parallel`` entry."""
+
+    def test_report_without_entry_emits_no_gate(self):
+        verdicts = _verdicts(_report(), _report())
+        assert not any("ingest_cold_parallel" in m for _, m in verdicts)
+
+    def test_healthy_ratio_passes(self):
+        verdicts = _verdicts(_ingest_parallel_report(), _ingest_parallel_report())
+        assert all(ok for ok, _ in verdicts)
+        assert any("ingest_cold_parallel" in m for _, m in verdicts)
+
+    def test_ratio_below_floor_fails(self):
+        verdicts = _verdicts(
+            _ingest_parallel_report(ratio=0.4), _ingest_parallel_report()
+        )
+        failures = [m for ok, m in verdicts if not ok]
+        assert any("ingest_cold_parallel" in m and "ratio" in m for m in failures)
+
+    def test_custom_floor_is_respected(self):
+        report = _ingest_parallel_report(ratio=0.4)
+        verdicts = list(
+            check_regression.check(
+                report, report, 0.2, 3.0, min_ingest_parallel_ratio=0.3
+            )
+        )
+        assert all(ok for ok, _ in verdicts)
+
 
 class TestMain:
     def test_exit_zero_on_pass_and_one_on_fail(self, tmp_path, capsys):
@@ -284,4 +409,16 @@ class TestMain:
         )
         assert (
             results["jobs_scaling"]["warm_jobs4"]["speedup_vs_reference"] >= 2.5
+        )
+        assert results["replay_ls_all"]["batch"]["speedup_vs_reference"] >= 4.0
+        assert (
+            results["replay_ls_write_heavy"]["batch"]["speedup_vs_reference"] >= 5.0
+        )
+        assert (
+            results["replay_ls_write_heavy_all"]["batch"]["speedup_vs_reference"]
+            >= 4.0
+        )
+        assert results["jobs_scaling"]["cold_jobs4"]["speedup_vs_reference"] >= 1.8
+        assert (
+            results["ingest_cold_parallel"]["jobs4"]["speedup_vs_reference"] >= 0.6
         )

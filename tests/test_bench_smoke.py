@@ -22,11 +22,13 @@ EXPECTED_BENCHMARKS = (
     "replay_ls",
     "replay_ls_all",
     "replay_ls_write_heavy",
+    "replay_ls_write_heavy_all",
     "sweep_fig11",
     "sweep_cache_ablation",
     "ingest_msr",
     "analysis_nols",
     "jobs_scaling",
+    "ingest_cold_parallel",
 )
 
 #: Which non-reference side(s) each benchmark reports a speedup on.
@@ -35,11 +37,13 @@ FAST_SIDES = {
     "replay_ls": ("batch",),
     "replay_ls_all": ("batch",),
     "replay_ls_write_heavy": ("batch",),
+    "replay_ls_write_heavy_all": ("batch",),
     "sweep_fig11": ("sweep",),
     "sweep_cache_ablation": ("sweep",),
     "ingest_msr": ("columnar", "warm_store"),
     "analysis_nols": ("fast",),
     "jobs_scaling": ("cold_jobs4", "warm_jobs1", "warm_jobs4"),
+    "ingest_cold_parallel": ("jobs4",),
 }
 
 
@@ -61,6 +65,11 @@ def test_every_benchmark_runs_at_smoke_scale(tmp_path):
     # jobs_scaling covers every paper exhibit end to end.
     assert results["jobs_scaling"]["exhibits"] == list(bench_kernels.PAPER_EXHIBITS)
     assert results["jobs_scaling"]["jobs"] == 4
+    # ingest_cold_parallel covers every Table I workload.
+    from repro.workloads import TABLE1
+
+    assert results["ingest_cold_parallel"]["workloads"] == len(TABLE1)
+    assert results["ingest_cold_parallel"]["jobs"] == 4
 
     # And the CLI wrapper must serialize it as valid JSON.
     out = tmp_path / "smoke.json"
