@@ -12,7 +12,7 @@ export PYTHONPATH := src
 COV_FLAGS := $(shell $(PYTHON) -c "import pytest_cov" 2>/dev/null && echo --cov=repro --cov-fail-under=85)
 XDIST_FLAGS := $(shell $(PYTHON) -c "import xdist" 2>/dev/null && echo -n auto)
 
-.PHONY: install test test-fast smoke serve-smoke bench bench-smoke bench-micro experiments charts lint-clean all
+.PHONY: install test test-fast smoke serve-smoke serve-bench serve-bench-smoke bench bench-smoke bench-micro experiments charts lint-clean all
 
 install:
 	$(PYTHON) setup.py develop
@@ -49,6 +49,22 @@ serve-smoke:
 bench:
 	$(PYTHON) benchmarks/bench_kernels.py --out benchmarks/BENCH_core.json
 	$(PYTHON) benchmarks/check_regression.py benchmarks/BENCH_core.json
+	$(PYTHON) benchmarks/check_regression.py --serving benchmarks/BENCH_serving.json
+
+# Serving data-plane macro-benchmark + gate: two end-to-end runs at 1M
+# ops (JSON-sequential reference vs binary+coalesced) plus the WAL
+# group-commit micro, written to BENCH_serving.json and gated on 5x
+# sustained throughput, a real group-commit win, and recorded p99/RSS
+# (benchmarks/bench_serving.py, check_regression.py --serving).
+serve-bench:
+	$(PYTHON) benchmarks/bench_serving.py --out benchmarks/BENCH_serving.json
+	$(PYTHON) benchmarks/check_regression.py --serving benchmarks/BENCH_serving.json
+
+# The same harness at trivial scale, ungated: proves `repro load`, the
+# daemon, both wires, and the report plumbing still run end to end in
+# seconds (also exercised in tier-1 via tests/test_serve_bench_smoke.py).
+serve-bench-smoke:
+	$(PYTHON) benchmarks/bench_serving.py --ops 30000 --out /tmp/BENCH_serving_smoke.json
 
 # Every macro-benchmark at ~10k ops, ungated: a seconds-long sanity pass
 # that the harness itself still runs end to end (also exercised in tier-1

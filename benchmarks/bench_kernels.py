@@ -437,6 +437,11 @@ def run(n_ops: int, repeat: int, include_runner: bool) -> dict:
     }
     if include_runner:
         report["runner"] = bench_runner()
+    # High-water RSS of the whole run (this process + reaped pool
+    # workers) — informational context for the timings above.
+    from repro.util.rss import peak_rss_mib
+
+    report["peak_rss_mib"] = round(peak_rss_mib(), 1)
     return report
 
 

@@ -8,6 +8,17 @@ numbers move with the machine, so the baseline is only meaningful on
 comparable hardware; re-baseline with::
 
     python benchmarks/bench_kernels.py --out benchmarks/BENCH_baseline.json
+
+With ``--serving FILE`` it instead gates a ``bench_serving.py`` report
+(the serving data plane): binary+coalesced sustained throughput must be
+>= ``--min-serving-speedup`` over the JSON serving path at >=
+``--min-serving-ops`` total ops, session group commit must beat
+per-batch journaled apply, and the p99 query latency / peak RSS fields
+must be recorded.  All serving gates are same-run ratios, so they hold
+on any machine::
+
+    python benchmarks/bench_serving.py --out benchmarks/BENCH_serving.json
+    python benchmarks/check_regression.py --serving benchmarks/BENCH_serving.json
 """
 
 from __future__ import annotations
@@ -32,6 +43,14 @@ DEFAULT_MIN_COLD_JOBS_SPEEDUP = 1.8
 # container cannot beat serial, but it must not fall far behind it either
 # (a drop means workers re-did per-workload ingest work).
 DEFAULT_MIN_INGEST_PARALLEL_RATIO = 0.6
+# Serving data plane (bench_serving.py): the PR 9 acceptance bar is 5x
+# sustained apply throughput over the JSON serving path at 1M ops.  The
+# group-commit floor is deliberately modest: fsync cost varies wildly
+# across filesystems (1.3-1.5x on fast local disks, far more when fsync
+# is honest), so the gate asserts a real win, not a particular one.
+DEFAULT_MIN_SERVING_SPEEDUP = 5.0
+DEFAULT_MIN_GROUP_COMMIT_SPEEDUP = 1.15
+DEFAULT_MIN_SERVING_OPS = 1_000_000
 
 _SIDES = (
     "reference", "batch", "sweep", "columnar", "warm_store", "fast",
@@ -182,6 +201,57 @@ def check(
             )
 
 
+def check_serving(
+    report: dict,
+    min_serving_speedup: float = DEFAULT_MIN_SERVING_SPEEDUP,
+    min_group_commit_speedup: float = DEFAULT_MIN_GROUP_COMMIT_SPEEDUP,
+    min_serving_ops: int = DEFAULT_MIN_SERVING_OPS,
+):
+    """Yield ``(ok, message)`` per serving-data-plane check."""
+    serving = report.get("results", {}).get("serving", {})
+    durability = report.get("results", {}).get("durability", {})
+    binary = serving.get("binary", {})
+
+    ops = int(serving.get("ops", 0))
+    yield ops >= min_serving_ops, (
+        f"serving ops {ops} (required >= {min_serving_ops}; smaller runs "
+        "don't amortize worker startup and prove nothing)"
+    )
+
+    speedup = binary.get("speedup_vs_reference", 0.0)
+    yield speedup >= min_serving_speedup, (
+        f"serving binary+coalesced speedup {speedup:.2f}x over the JSON "
+        f"path (required >= {min_serving_speedup:.1f}x)"
+    )
+
+    group = durability.get("group_commit", {})
+    group_speedup = group.get("speedup_vs_reference", 0.0)
+    yield group_speedup >= min_group_commit_speedup, (
+        f"durability group-commit speedup {group_speedup:.2f}x over "
+        f"per-batch journaled apply (required >= "
+        f"{min_group_commit_speedup:.2f}x)"
+    )
+
+    resyncs = binary.get("resyncs")
+    yield resyncs == 0, (
+        f"binary side resyncs {resyncs} (required 0: sheds under the "
+        "bench's own window mean misconfigured queue depths)"
+    )
+
+    for field, where, label in (
+        ("apply_p99_ms", binary, "binary p99 apply latency"),
+        ("query_p99_ms", binary, "binary p99 live-query latency"),
+        ("peak_rss_mib", report, "peak RSS"),
+    ):
+        value = where.get(field)
+        ok = isinstance(value, (int, float)) and value > 0
+        yield ok, (
+            f"{label} recorded ({field}={value})"
+            if ok
+            else f"{label} missing from report ({field}={value!r})"
+        )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -234,7 +304,45 @@ def main(argv=None) -> int:
         type=float,
         default=DEFAULT_MIN_INGEST_PARALLEL_RATIO,
     )
+    parser.add_argument(
+        "--serving",
+        default=None,
+        metavar="FILE",
+        help="gate a bench_serving.py report instead of the kernel baseline",
+    )
+    parser.add_argument(
+        "--min-serving-speedup", type=float, default=DEFAULT_MIN_SERVING_SPEEDUP
+    )
+    parser.add_argument(
+        "--min-group-commit-speedup",
+        type=float,
+        default=DEFAULT_MIN_GROUP_COMMIT_SPEEDUP,
+    )
+    parser.add_argument(
+        "--min-serving-ops", type=int, default=DEFAULT_MIN_SERVING_OPS
+    )
     args = parser.parse_args(argv)
+
+    if args.serving is not None:
+        try:
+            report = json.loads(Path(args.serving).read_text())
+        except OSError as exc:
+            print(f"no serving results ({exc}); run bench_serving.py first")
+            return 1
+        failed = 0
+        for ok, message in check_serving(
+            report,
+            min_serving_speedup=args.min_serving_speedup,
+            min_group_commit_speedup=args.min_group_commit_speedup,
+            min_serving_ops=args.min_serving_ops,
+        ):
+            print(("ok   " if ok else "FAIL ") + message)
+            failed += 0 if ok else 1
+        if failed:
+            print(f"{failed} serving regression check(s) failed")
+            return 1
+        print("all serving regression checks passed")
+        return 0
 
     try:
         current = json.loads(Path(args.current).read_text())

@@ -1,6 +1,6 @@
-"""Blocking client for the replay daemon's newline-JSON protocol.
+"""Blocking client for the replay daemon's protocol.
 
-Small on purpose: a socket, a line reader, and the two behaviours a
+Small on purpose: a socket, a line reader, and the behaviours a
 streaming client actually needs —
 
 * **Sequencing.**  :meth:`ReplayClient.apply` numbers batches itself
@@ -11,6 +11,16 @@ streaming client actually needs —
   :meth:`apply_with_retry` re-queries the server's ``applied`` seq and
   resends from there — the server's dedupe/gap checks make this safe to
   repeat arbitrarily.
+* **Negotiation.**  :meth:`open` asks the daemon (``hello``) which wires
+  it speaks and picks the best one: ``"bin"`` sends each batch as one
+  framed columnar buffer (:mod:`repro.service.wire`), ``"json"`` is the
+  per-op fallback for old daemons.  Force either with
+  ``ReplayClient(..., wire="json")``.
+* **Pipelining.**  :meth:`apply_stream` keeps a window of batches in
+  flight on one socket (responses come back in request order) — this is
+  what lets the daemon's dispatcher find contiguous queued batches to
+  coalesce into group commits.  Sheds, gaps, and reconnects resync
+  exactly like :meth:`apply_with_retry`.
 """
 
 from __future__ import annotations
@@ -18,11 +28,19 @@ from __future__ import annotations
 import json
 import socket
 import time
-from typing import Dict, Optional
+from collections import deque
+from typing import Callable, Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import TechniqueConfig, config_to_dict
+from repro.service.wire import (
+    WIRE_BINARY,
+    WIRE_JSON,
+    WIRE_REF,
+    encode_payload,
+    payload_crc,
+)
 
 
 class ServiceError(RuntimeError):
@@ -42,7 +60,10 @@ class ReplayClient:
         port: int,
         tenant: str,
         timeout_s: float = 60.0,
+        wire: str = "auto",
     ) -> None:
+        if wire not in ("auto", WIRE_BINARY, WIRE_JSON):
+            raise ValueError(f"wire must be 'auto', 'bin' or 'json', got {wire!r}")
         self.host = host
         self.port = port
         self.tenant = tenant
@@ -50,6 +71,11 @@ class ReplayClient:
         self._sock: Optional[socket.socket] = None
         self._file = None
         self.next_seq = 1
+        self._requested_wire = wire
+        #: Wire negotiated at :meth:`open` ("bin" or "json").
+        self.wire = WIRE_JSON if wire == "auto" else wire
+        #: Wires the daemon offered in its hello (after :meth:`open`).
+        self.offered_wires: Tuple[str, ...] = ()
 
     # ----------------------------------------------------------------- #
     # Transport
@@ -97,8 +123,32 @@ class ReplayClient:
     # Session operations
     # ----------------------------------------------------------------- #
 
+    def hello(self) -> Tuple[str, ...]:
+        """Ask the daemon which wires it speaks (empty for old daemons)."""
+        try:
+            response = self.request({"op": "hello"})
+        except (ConnectionError, OSError):
+            return ()
+        if not response.get("ok"):
+            return ()
+        return tuple(response.get("wires", ()))
+
+    def negotiate(self) -> str:
+        """Resolve ``wire="auto"`` against the daemon's hello; sets
+        :attr:`wire` and returns it."""
+        self.offered_wires = self.hello()
+        if self._requested_wire == "auto":
+            self.wire = (
+                WIRE_BINARY if WIRE_BINARY in self.offered_wires else WIRE_JSON
+            )
+        else:
+            self.wire = self._requested_wire
+        return self.wire
+
     def open(self, config: TechniqueConfig, capacity_sectors: int) -> dict:
-        """Open (or re-attach to) this tenant's session; syncs next_seq."""
+        """Open (or re-attach to) this tenant's session; negotiates the
+        wire and syncs next_seq."""
+        self.negotiate()
         response = self.request(
             {
                 "op": "open",
@@ -112,17 +162,35 @@ class ReplayClient:
         self.next_seq = int(response.get("applied_seq", 0)) + 1
         return response
 
-    def apply(
+    # -- batch encoding ------------------------------------------------ #
+
+    def _apply_frame(
         self,
         is_read: np.ndarray,
         lba: np.ndarray,
         length: np.ndarray,
-        seq: Optional[int] = None,
-        deadline_s: Optional[float] = None,
-    ) -> dict:
-        """Send one batch at ``seq`` (default: the next unacknowledged)."""
-        seq = self.next_seq if seq is None else seq
-        payload = {
+        seq: int,
+        deadline_s: Optional[float],
+    ) -> bytes:
+        """One apply request as raw socket bytes (header [+ payload])."""
+        if self.wire == WIRE_BINARY:
+            payload = encode_payload(
+                np.asarray(is_read, dtype=bool),
+                np.asarray(lba, dtype=np.int64),
+                np.asarray(length, dtype=np.int64),
+            )
+            header = {
+                "op": "apply",
+                "tenant": self.tenant,
+                "seq": seq,
+                "wire": WIRE_BINARY,
+                "n": int(len(lba)),
+                "crc": payload_crc(payload),
+            }
+            if deadline_s is not None:
+                header["deadline_s"] = deadline_s
+            return json.dumps(header).encode("utf-8") + b"\n" + payload
+        header = {
             "op": "apply",
             "tenant": self.tenant,
             "seq": seq,
@@ -133,8 +201,57 @@ class ReplayClient:
             },
         }
         if deadline_s is not None:
-            payload["deadline_s"] = deadline_s
-        response = self.request(payload)
+            header["deadline_s"] = deadline_s
+        return json.dumps(header).encode("utf-8") + b"\n"
+
+    def _read_response(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection")
+        return json.loads(line)
+
+    def apply(
+        self,
+        is_read: np.ndarray,
+        lba: np.ndarray,
+        length: np.ndarray,
+        seq: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Send one batch at ``seq`` (default: the next unacknowledged)."""
+        seq = self.next_seq if seq is None else seq
+        if self._file is None:
+            self.connect()
+        self._file.write(self._apply_frame(is_read, lba, length, seq, deadline_s))
+        self._file.flush()
+        response = self._read_response()
+        if response.get("ok"):
+            self.next_seq = max(self.next_seq, seq + 1)
+        return response
+
+    def apply_ref(
+        self,
+        key: str,
+        start: int,
+        stop: int,
+        seq: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Apply ops ``[start, stop)`` of shared-pool entry ``key`` by
+        reference — no op bytes cross the wire or enter the WAL."""
+        seq = self.next_seq if seq is None else seq
+        header = {
+            "op": "apply",
+            "tenant": self.tenant,
+            "seq": seq,
+            "wire": WIRE_REF,
+            "key": key,
+            "start": int(start),
+            "stop": int(stop),
+        }
+        if deadline_s is not None:
+            header["deadline_s"] = deadline_s
+        response = self.request(header)
         if response.get("ok"):
             self.next_seq = max(self.next_seq, seq + 1)
         return response
@@ -191,6 +308,147 @@ class ReplayClient:
             f"batch not delivered after {max_attempts} attempts "
             f"(tenant {self.tenant!r}, seq {seq})"
         )
+
+    def apply_stream(
+        self,
+        batches: Iterable[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+        window: int = 32,
+        on_ack: Optional[Callable[[dict], None]] = None,
+        max_attempts: int = 8,
+        backoff_s: float = 0.05,
+        sleep=time.sleep,
+        deadline_s: Optional[float] = None,
+    ) -> dict:
+        """Deliver a whole stream of batches with ``window`` in flight.
+
+        Writes up to ``window`` apply requests ahead of the responses on
+        one socket (the daemon answers in request order), which is what
+        gives the daemon's dispatcher contiguous queued batches to
+        coalesce into group commits.  Only unacknowledged batches are
+        retained, so ``batches`` may be a generator of any length.
+
+        Failures resync exactly like :meth:`apply_with_retry`: on a shed,
+        a sequence gap, or a transport error the client reconnects,
+        queries the server's ``applied`` seq, and resumes from the first
+        unacknowledged batch — dedupe makes overlap harmless.
+        ``max_attempts`` bounds *consecutive* resyncs without progress.
+
+        Returns ``{"ok", "batches", "applied_seq", "resyncs",
+        "duplicate_acks"}``.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        it = iter(batches)
+        base = self.next_seq
+        buffered: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        next_fetch = 0
+        exhausted = False
+
+        def fetch(idx: int):
+            nonlocal next_fetch, exhausted
+            while next_fetch <= idx and not exhausted:
+                try:
+                    r, l, n = next(it)
+                except StopIteration:
+                    exhausted = True
+                    break
+                buffered[next_fetch] = (
+                    np.asarray(r, dtype=bool),
+                    np.asarray(l, dtype=np.int64),
+                    np.asarray(n, dtype=np.int64),
+                )
+                next_fetch += 1
+            return buffered.get(idx)
+
+        acked_idx = -1
+        next_idx = 0
+        inflight: deque = deque()
+        attempts = 0
+        resyncs = 0
+        duplicates = 0
+
+        def note_ack(response: dict, idx: int) -> None:
+            nonlocal acked_idx, duplicates
+            if response.get("duplicate"):
+                duplicates += 1
+            applied = int(response.get("applied_seq", base + idx))
+            new_acked = max(acked_idx, idx, applied - base)
+            for i in range(acked_idx + 1, new_acked + 1):
+                buffered.pop(i, None)
+            acked_idx = new_acked
+
+        def resync() -> None:
+            # Reconnect fresh (discards any stale pipelined responses),
+            # trust the server's applied seq, resume after it.
+            nonlocal next_idx, acked_idx, attempts, resyncs
+            inflight.clear()
+            resyncs += 1
+            while True:
+                attempts += 1
+                if attempts > max_attempts:
+                    raise TimeoutError(
+                        f"stream stalled after {max_attempts} resync "
+                        f"attempts (tenant {self.tenant!r}, "
+                        f"seq {base + acked_idx + 1})"
+                    )
+                sleep(backoff_s * attempts)
+                try:
+                    self.connect()
+                    applied = self.applied_seq()
+                    break
+                except (ConnectionError, OSError, ServiceError):
+                    continue
+            new_acked = max(acked_idx, applied - base)
+            for i in range(acked_idx + 1, new_acked + 1):
+                buffered.pop(i, None)
+            acked_idx = new_acked
+            next_idx = acked_idx + 1
+
+        if self._file is None:
+            self.connect()
+        while True:
+            try:
+                wrote = False
+                while len(inflight) < window:
+                    batch = fetch(next_idx)
+                    if batch is None:
+                        break
+                    self._file.write(
+                        self._apply_frame(
+                            batch[0], batch[1], batch[2],
+                            base + next_idx, deadline_s,
+                        )
+                    )
+                    inflight.append(next_idx)
+                    next_idx += 1
+                    wrote = True
+                if wrote:
+                    self._file.flush()
+                if not inflight:
+                    break
+                response = self._read_response()
+                idx = inflight.popleft()
+            except (ConnectionError, OSError):
+                resync()
+                continue
+            if response.get("ok"):
+                attempts = 0
+                note_ack(response, idx)
+                if on_ack is not None:
+                    on_ack(response)
+                continue
+            if response.get("shed") or response.get("kind") == "SequenceGapError":
+                resync()
+                continue
+            raise ServiceError(response)
+        self.next_seq = max(self.next_seq, base + acked_idx + 1)
+        return {
+            "ok": True,
+            "batches": acked_idx + 1,
+            "applied_seq": base + acked_idx,
+            "resyncs": resyncs,
+            "duplicate_acks": duplicates,
+        }
 
     def query(self, kind: str, **params) -> dict:
         payload = {"op": "query", "tenant": self.tenant, "kind": kind}

@@ -3,20 +3,48 @@
 The daemon is the concurrency boundary of the service.  Everything below
 it is blocking and single-threaded-per-tenant (a supervisor call holds
 the tenant's lock while the worker computes); everything above it is a
-newline-delimited-JSON TCP conversation.  The shape:
+TCP conversation of newline-JSON headers with optional out-of-line
+binary payloads.  The shape:
 
-* One reader task per client connection parses requests and routes them.
+* One reader task per client connection parses requests and dispatches
+  each as its own task; one writer task per connection sends responses
+  back in strict request order (FIFO), so clients may **pipeline** —
+  keep many requests in flight on one socket — and still match
+  responses positionally.  In-flight requests per connection are
+  bounded (:attr:`DaemonConfig.pipeline_depth`).
 * One **bounded** :class:`asyncio.Queue` plus one dispatcher task per
   tenant.  The dispatcher pops a request, checks its deadline, and runs
   the supervisor call in the shared thread pool — so one slow tenant
   occupies one pool thread, not the event loop, and ops for a tenant
   stay strictly ordered.
 
+Wire formats (negotiated via the ``hello`` op, see
+:mod:`repro.service.wire`): ``"json"`` applies carry per-op lists in the
+header line (the PR 6 path, kept verbatim as the compatibility fallback);
+``"bin"`` applies carry a framed columnar payload after the header line,
+CRC-checked at admission; ``"ref"`` applies name an op range inside the
+shared content-addressed pool and carry no op bytes at all.
+
+**Coalescing + group commit:** when a tenant's dispatcher pops a
+binary/ref apply and more contiguous same-wire applies are already
+queued behind it, it merges them — up to
+:attr:`DaemonConfig.coalesce_batches` / ``coalesce_ops`` /
+``coalesce_bytes`` — into ONE worker call (byte concatenation; the
+payloads are never re-encoded).  The session journals the group under a
+single CRC frame with a single fsync and acks every member batch exactly
+as the one-at-a-time path would have (see
+:meth:`ReplaySession.apply_group_payload`), so at streaming rates the
+dominant per-batch costs — pipe crossings and WAL fsyncs — are paid per
+*group*.  JSON applies never coalesce; that path stays byte-for-byte the
+PR 6 reference.
+
 Backpressure and shedding, per tenant:
 
 * **Admission.**  A request arriving to a full queue is refused
   immediately (``error: "overloaded"``, ``shed: true``) — the client
-  slows down or goes away; memory stays bounded either way.
+  slows down or goes away; memory stays bounded either way.  Oversized
+  requests get a structured ``error: "too_large"`` (the frame is drained
+  exactly, never desynced) instead of a dropped connection.
 * **Deadline.**  Each request carries its enqueue time; if the
   dispatcher pops it after ``deadline_s`` (daemon default, overridable
   per request), it is shed without touching the worker — a queue that
@@ -36,7 +64,7 @@ import json
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,10 +75,22 @@ from repro.service.supervisor import (
     TenantFailedError,
     WorkerCallError,
 )
+from repro.service.wire import (
+    SUPPORTED_WIRES,
+    WIRE_BINARY,
+    WIRE_JSON,
+    WIRE_REF,
+    payload_crc,
+    payload_nbytes,
+)
 from repro.service.worker import encode_ops
 
-#: Ceiling on one request line; protects the loop from a hostile client.
+#: Default ceiling on one request header line (JSON applies put their ops
+#: here, so it doubles as the JSON-wire batch size limit).
 MAX_LINE_BYTES = 8 * 1024 * 1024
+
+#: Default ceiling on one out-of-line binary payload.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -65,6 +105,21 @@ class DaemonConfig:
             shed.
         executor_threads: Pool threads shared by all tenants' supervisor
             calls (each call blocks one thread for its duration).
+        max_line_bytes: Ceiling on one request header line; an oversized
+            line gets a structured ``too_large`` error, not a dropped
+            connection.
+        max_frame_bytes: Ceiling on one binary payload; an oversized
+            frame is drained exactly (its length is in the header) and
+            refused with ``too_large``.
+        coalesce_batches/coalesce_ops/coalesce_bytes: Group-commit
+            budgets — a coalesced worker call stops growing at whichever
+            limit it hits first.  ``coalesce_batches=1`` disables
+            coalescing.
+        pipeline_depth: In-flight requests allowed per client
+            connection (responses always return in request order).
+        pool_root: Shared content-addressed trace store directory; when
+            set, workers resolve ``"ref"``-wire batches through one
+            machine-wide mmap of it.
     """
 
     host: str = "127.0.0.1"
@@ -72,6 +127,13 @@ class DaemonConfig:
     queue_depth: int = 16
     deadline_s: float = 30.0
     executor_threads: int = 8
+    max_line_bytes: int = MAX_LINE_BYTES
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    coalesce_batches: int = 64
+    coalesce_ops: int = 1_048_576
+    coalesce_bytes: int = 16 * 1024 * 1024
+    pipeline_depth: int = 256
+    pool_root: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.queue_depth < 1:
@@ -80,16 +142,50 @@ class DaemonConfig:
             raise ValueError("deadline_s must be > 0")
         if self.executor_threads < 1:
             raise ValueError("executor_threads must be >= 1")
+        if self.max_line_bytes < 4096:
+            raise ValueError("max_line_bytes must be >= 4096")
+        if self.max_frame_bytes < 4096:
+            raise ValueError("max_frame_bytes must be >= 4096")
+        if self.coalesce_batches < 1 or self.coalesce_ops < 1 or self.coalesce_bytes < 1:
+            raise ValueError("coalesce budgets must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
 
 
 class _Pending:
-    __slots__ = ("message", "future", "enqueued_at", "deadline_s")
+    __slots__ = (
+        "message",
+        "future",
+        "enqueued_at",
+        "deadline_s",
+        "wire",
+        "seq",
+        "n",
+        "payload",
+        "ref",
+    )
 
-    def __init__(self, message, future, enqueued_at, deadline_s):
+    def __init__(
+        self,
+        message,
+        future,
+        enqueued_at,
+        deadline_s,
+        wire=None,
+        seq=None,
+        n=None,
+        payload=None,
+        ref=None,
+    ):
         self.message = message
         self.future = future
         self.enqueued_at = enqueued_at
         self.deadline_s = deadline_s
+        self.wire = wire          # "bin"/"ref" for coalescible applies
+        self.seq = seq            # batch seq (coalescible applies only)
+        self.n = n                # op count (coalescible applies only)
+        self.payload = payload    # columnar bytes ("bin" wire only)
+        self.ref = ref            # (key, start, stop) ("ref" wire only)
 
 
 class ReplayDaemon:
@@ -112,7 +208,11 @@ class ReplayDaemon:
     ) -> None:
         self._config = config or DaemonConfig()
         self._supervisor = supervisor or Supervisor(
-            Path(root), config=supervisor_config
+            Path(root),
+            config=supervisor_config,
+            pool_root=(
+                Path(self._config.pool_root) if self._config.pool_root else None
+            ),
         )
         self._server: Optional[asyncio.AbstractServer] = None
         self._executor: Optional[ThreadPoolExecutor] = None
@@ -134,11 +234,14 @@ class ReplayDaemon:
             max_workers=self._config.executor_threads,
             thread_name_prefix="repro-serve",
         )
+        # The StreamReader hard limit sits above the soft max_line_bytes
+        # so an oversized-but-bounded line is read whole and refused with
+        # a structured error instead of a torn connection.
         self._server = await asyncio.start_server(
             self._serve_client,
             host=self._config.host,
             port=self._config.port,
-            limit=MAX_LINE_BYTES,
+            limit=2 * self._config.max_line_bytes,
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
@@ -175,60 +278,177 @@ class ReplayDaemon:
             await self._server.serve_forever()
 
     # ----------------------------------------------------------------- #
-    # Client protocol
+    # Client protocol (pipelined reader + ordered-response writer)
     # ----------------------------------------------------------------- #
 
     async def _serve_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        responses: asyncio.Queue = asyncio.Queue()
+        slots = asyncio.Semaphore(self._config.pipeline_depth)
+        writer_task = asyncio.create_task(
+            self._write_responses(responses, writer, slots)
+        )
         try:
             while True:
                 try:
                     line = await reader.readline()
                 except (asyncio.LimitOverrunError, ValueError):
-                    await self._reply(
-                        writer, {"ok": False, "error": "request line too long"}
+                    # Past even the hard transport limit: the stream
+                    # cannot be resynced, so answer and hang up.
+                    await slots.acquire()
+                    await responses.put(
+                        ("error", self._too_large("line"))
                     )
                     break
                 if not line:
                     break
+                if len(line) > self._config.max_line_bytes:
+                    await slots.acquire()
+                    await responses.put(("error", self._too_large("line")))
+                    continue
                 try:
                     request = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    await self._reply(
-                        writer, {"ok": False, "error": f"bad json: {exc}"}
+                    await slots.acquire()
+                    await responses.put(
+                        ("error", {"ok": False, "error": f"bad json: {exc}"})
                     )
                     continue
-                response = await self._handle(request)
-                await self._reply(writer, response)
-                if request.get("op") == "shutdown" and response.get("ok"):
-                    asyncio.get_running_loop().create_task(self._shutdown_soon())
+                payload = None
+                error = None
+                if (
+                    request.get("op") == "apply"
+                    and request.get("wire") == WIRE_BINARY
+                ):
+                    try:
+                        payload, error = await self._read_payload(reader, request)
+                    except asyncio.IncompleteReadError:
+                        break  # client died mid-frame
+                await slots.acquire()
+                if error is not None:
+                    await responses.put(("error", error))
+                    continue
+                op = request.get("op")
+                task = asyncio.get_running_loop().create_task(
+                    self._handle(request, payload)
+                )
+                await responses.put((op, task))
+                if op == "shutdown":
                     break
         except (ConnectionResetError, BrokenPipeError):
             pass  # client vanished; its tenant state is unaffected
         finally:
+            await responses.put(None)
+            await writer_task
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _write_responses(
+        self, responses: asyncio.Queue, writer: asyncio.StreamWriter, slots
+    ) -> None:
+        """Drain handler results to the socket in strict request order."""
+        broken = False
+        while True:
+            item = await responses.get()
+            if item is None:
+                return
+            op, result = item
+            if isinstance(result, asyncio.Task):
+                try:
+                    response = await result
+                except Exception as exc:  # keep the connection alive
+                    response = {
+                        "ok": False,
+                        "error": str(exc),
+                        "kind": type(exc).__name__,
+                    }
+            else:
+                response = result
+            slots.release()
+            if broken:
+                continue  # still await/drain tasks so none leak
+            try:
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                broken = True
+                continue
+            if op == "shutdown" and response.get("ok"):
+                asyncio.get_running_loop().create_task(self._shutdown_soon())
+
+    def _too_large(self, what: str) -> dict:
+        return {
+            "ok": False,
+            "error": "too_large",
+            "kind": "ValueError",
+            "what": what,
+            "max_line_bytes": self._config.max_line_bytes,
+            "max_frame_bytes": self._config.max_frame_bytes,
+        }
+
+    async def _read_payload(
+        self, reader: asyncio.StreamReader, request: dict
+    ) -> Tuple[Optional[bytes], Optional[dict]]:
+        """Read (or exactly drain) the binary payload following a header.
+
+        Returns ``(payload, None)`` on success, ``(None, error_dict)``
+        when the frame is refused — in which case the frame bytes have
+        still been consumed, so the stream stays in sync.
+        """
+        try:
+            n = int(request["n"])
+        except (KeyError, TypeError, ValueError):
+            return None, {
+                "ok": False,
+                "error": "binary apply needs an integer op count 'n'",
+            }
+        if n < 0:
+            return None, {"ok": False, "error": "op count 'n' must be >= 0"}
+        nbytes = payload_nbytes(n)
+        if nbytes > self._config.max_frame_bytes:
+            remaining = nbytes
+            while remaining:
+                chunk = await reader.readexactly(min(remaining, 1 << 20))
+                remaining -= len(chunk)
+            return None, self._too_large("frame")
+        payload = await reader.readexactly(nbytes)
+        crc = request.get("crc")
+        if crc is not None and payload_crc(payload) != int(crc):
+            return None, {
+                "ok": False,
+                "error": "payload crc mismatch",
+                "kind": "ValueError",
+            }
+        return payload, None
+
     async def _shutdown_soon(self) -> None:
         await self.stop()
-
-    @staticmethod
-    async def _reply(writer: asyncio.StreamWriter, response: dict) -> None:
-        writer.write(json.dumps(response).encode("utf-8") + b"\n")
-        await writer.drain()
 
     # ----------------------------------------------------------------- #
     # Routing
     # ----------------------------------------------------------------- #
 
-    async def _handle(self, request: dict) -> dict:
+    async def _handle(self, request: dict, payload: Optional[bytes] = None) -> dict:
         op = request.get("op")
         if op == "ping":
             return {"ok": True, "tenants": self._supervisor.tenants()}
+        if op == "hello":
+            wires = [
+                w
+                for w in SUPPORTED_WIRES
+                if w != WIRE_REF or self._supervisor.pool_root
+            ]
+            return {
+                "ok": True,
+                "wires": wires,
+                "max_line_bytes": self._config.max_line_bytes,
+                "max_frame_bytes": self._config.max_frame_bytes,
+                "pool_root": self._supervisor.pool_root,
+            }
         if op == "shutdown":
             return {"ok": True, "stopping": True}
         tenant = request.get("tenant")
@@ -241,10 +461,12 @@ class ReplayDaemon:
         if op in ("apply", "query", "checkpoint", "close"):
             if tenant not in self._queues:
                 return {"ok": False, "error": f"tenant {tenant!r} not open"}
-            return await self._enqueue(tenant, request)
+            return await self._enqueue(tenant, request, payload)
         return {"ok": False, "error": f"unknown op {op!r}"}
 
-    async def _enqueue(self, tenant: str, request: dict) -> dict:
+    async def _enqueue(
+        self, tenant: str, request: dict, payload: Optional[bytes] = None
+    ) -> dict:
         loop = asyncio.get_running_loop()
         if tenant not in self._queues:
             self._queues[tenant] = asyncio.Queue(maxsize=self._config.queue_depth)
@@ -252,7 +474,44 @@ class ReplayDaemon:
                 self._dispatch_tenant(tenant), name=f"dispatch-{tenant}"
             )
         deadline_s = float(request.get("deadline_s", self._config.deadline_s))
-        pending = _Pending(request, loop.create_future(), loop.time(), deadline_s)
+        wire = seq = n = ref = None
+        if request.get("op") == "apply":
+            declared = request.get("wire", WIRE_JSON)
+            try:
+                if declared == WIRE_BINARY:
+                    wire = WIRE_BINARY
+                    seq = int(request["seq"])
+                    n = int(request["n"])
+                elif declared == WIRE_REF:
+                    if not self._supervisor.pool_root:
+                        return {
+                            "ok": False,
+                            "error": "daemon has no shared pool; "
+                            "ref wire unavailable",
+                        }
+                    wire = WIRE_REF
+                    seq = int(request["seq"])
+                    ref = (
+                        str(request["key"]),
+                        int(request["start"]),
+                        int(request["stop"]),
+                    )
+                    n = ref[2] - ref[1]
+                elif declared != WIRE_JSON:
+                    return {"ok": False, "error": f"unknown wire {declared!r}"}
+            except (KeyError, TypeError, ValueError) as exc:
+                return {"ok": False, "error": f"bad apply header: {exc}"}
+        pending = _Pending(
+            request,
+            loop.create_future(),
+            loop.time(),
+            deadline_s,
+            wire=wire,
+            seq=seq,
+            n=n,
+            payload=payload,
+            ref=ref,
+        )
         try:
             self._queues[tenant].put_nowait(pending)
         except asyncio.QueueFull:
@@ -264,27 +523,43 @@ class ReplayDaemon:
             }
         return await pending.future
 
+    # ----------------------------------------------------------------- #
+    # Per-tenant dispatch (coalescing happens here)
+    # ----------------------------------------------------------------- #
+
+    @staticmethod
+    def _shed(pending: _Pending, why: str) -> None:
+        if not pending.future.done():
+            pending.future.set_result({"ok": False, "error": why, "shed": True})
+
+    def _expired(self, pending: _Pending, loop) -> bool:
+        return loop.time() - pending.enqueued_at > pending.deadline_s
+
     async def _dispatch_tenant(self, tenant: str) -> None:
         queue = self._queues[tenant]
         loop = asyncio.get_running_loop()
+        carry: Optional[_Pending] = None
         while True:
-            pending = await queue.get()
-            if loop.time() - pending.enqueued_at > pending.deadline_s:
+            if carry is not None:
+                pending, carry = carry, None
+            else:
+                pending = await queue.get()
+            if self._expired(pending, loop):
                 # Expired in queue: shed without burning worker time.
-                if not pending.future.done():
-                    pending.future.set_result(
-                        {"ok": False, "error": "deadline expired in queue", "shed": True}
-                    )
+                self._shed(pending, "deadline expired in queue")
+                continue
+            if pending.wire in (WIRE_BINARY, WIRE_REF):
+                try:
+                    carry = await self._dispatch_group(tenant, pending, queue, loop)
+                except asyncio.CancelledError:
+                    raise
                 continue
             try:
                 response = await loop.run_in_executor(
                     self._executor, self._call_blocking, tenant, pending.message
                 )
             except asyncio.CancelledError:
-                if not pending.future.done():
-                    pending.future.set_result(
-                        {"ok": False, "error": "daemon stopping", "shed": True}
-                    )
+                self._shed(pending, "daemon stopping")
                 raise
             except TenantFailedError as exc:
                 response = {"ok": False, "error": str(exc), "failed": True}
@@ -294,6 +569,75 @@ class ReplayDaemon:
                 response = {"ok": False, "error": str(exc), "kind": type(exc).__name__}
             if not pending.future.done():
                 pending.future.set_result(response)
+
+    async def _dispatch_group(
+        self, tenant: str, first: _Pending, queue: asyncio.Queue, loop
+    ) -> Optional[_Pending]:
+        """Merge queued contiguous same-wire applies behind ``first`` into
+        one worker call; returns a popped-but-not-coalescible carry (the
+        next loop iteration's head) or None."""
+        cfg = self._config
+        group = [first]
+        total_ops = first.n
+        total_bytes = len(first.payload) if first.payload is not None else 0
+        carry: Optional[_Pending] = None
+        while (
+            len(group) < cfg.coalesce_batches
+            and total_ops < cfg.coalesce_ops
+            and total_bytes < cfg.coalesce_bytes
+        ):
+            try:
+                nxt = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if self._expired(nxt, loop):
+                self._shed(nxt, "deadline expired in queue")
+                break
+            if nxt.wire != first.wire or nxt.seq != group[-1].seq + 1:
+                carry = nxt
+                break
+            group.append(nxt)
+            total_ops += nxt.n
+            total_bytes += len(nxt.payload) if nxt.payload is not None else 0
+        if first.wire == WIRE_BINARY:
+            message = {
+                "cmd": "apply_group",
+                "first_seq": first.seq,
+                "counts": [p.n for p in group],
+                # Coalescing IS this join: the payloads arrive in wire
+                # layout and leave in wire layout, no per-op work.
+                "payload": b"".join(p.payload for p in group),
+            }
+        else:
+            message = {
+                "cmd": "apply_refs",
+                "first_seq": first.seq,
+                "refs": [p.ref for p in group],
+            }
+        try:
+            response = await loop.run_in_executor(
+                self._executor, self._supervisor.call, tenant, message
+            )
+        except asyncio.CancelledError:
+            for p in group:
+                self._shed(p, "daemon stopping")
+            if carry is not None:
+                self._shed(carry, "daemon stopping")
+            raise
+        except TenantFailedError as exc:
+            response = {"ok": False, "error": str(exc), "failed": True}
+        except Exception as exc:  # keep the dispatcher alive
+            response = {"ok": False, "error": str(exc), "kind": type(exc).__name__}
+        acks = response.get("acks") if response.get("ok") else None
+        if acks is not None and len(acks) == len(group):
+            for p, ack in zip(group, acks):
+                if not p.future.done():
+                    p.future.set_result(ack)
+        else:
+            for p in group:
+                if not p.future.done():
+                    p.future.set_result(response)
+        return carry
 
     # ----------------------------------------------------------------- #
     # Blocking side (runs in the executor)

@@ -9,7 +9,8 @@ checkpoint and reaches the identical state; if it dies before the journal
 write completes, the torn record is truncated away and the client (which
 never got an acknowledgement) resends.
 
-Record format, little-endian, self-delimiting::
+Record formats, little-endian, self-delimiting (dispatch on the leading
+magic).  A single batch::
 
     magic   u32   0x524A4C31 ("RJL1")
     seq     u64   batch sequence number (contiguous per tenant, from 1)
@@ -17,9 +18,39 @@ Record format, little-endian, self-delimiting::
     crc     u32   CRC-32 of the payload bytes
     payload       is_read u8[n] · lba i64[n] · length i64[n]
 
+A **coalesced group** (the group-commit frame: one CRC, one fsync for a
+whole run of contiguous batches — see :meth:`OpJournal.append_group`)::
+
+    magic     u32   0x524A4731 ("RJG1")
+    first_seq u64   sequence number of the group's first batch
+    k         u32   batches in the group
+    crc       u32   CRC-32 of counts + payload
+    counts    u32[k]  ops per batch
+    payload         per-batch payloads, concatenated in batch order
+
+The group payload is the byte concatenation of each batch's single-batch
+payload (the :mod:`repro.service.wire` layout), so the daemon's coalesced
+buffer journals verbatim — no re-encoding between the socket and the WAL.
+
+A **by-reference** batch (ops live in the shared content-addressed
+:class:`~repro.service.pool.TracePool`; the WAL stores ~60 bytes however
+large the batch)::
+
+    magic   u32   0x524A5231 ("RJR1")
+    seq     u64   batch sequence number
+    start   u64   first op index within the pool entry
+    stop    u64   one past the last op index
+    crc     u32   CRC-32 of key + start/stop (packed little-endian)
+    key     u8[32]  raw SHA-256 of the pool entry
+
+Ref records are only recoverable while the pool entry exists; pool
+entries are immutable, content-addressed and fsynced before any ref to
+them is accepted, so a retained checkpoint's journal tail can always be
+re-resolved.
+
 Torn tails are detected structurally (short header/payload) or by CRC and
 truncated in place; anything before the tear is intact because each
-record was fsynced before acknowledgement.
+record (or group) was fsynced before acknowledgement.
 
 Segments: one append-only file per checkpoint epoch,
 ``<root>/journal/seg-<first_seq:012d>.log`` (named by the first batch seq
@@ -35,12 +66,17 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 _MAGIC = 0x524A4C31
 _HEADER = struct.Struct("<IQII")  # magic, seq, n, crc
+_GROUP_MAGIC = 0x524A4731
+_GROUP_HEADER = struct.Struct("<IQII")  # magic, first_seq, k, crc
+_REF_MAGIC = 0x524A5231
+_REF_HEADER = struct.Struct("<IQQQI")  # magic, seq, start, stop, crc
+_REF_KEY_BYTES = 32
 
 
 class JournalRecord:
@@ -58,6 +94,26 @@ class JournalRecord:
 
     def __len__(self) -> int:
         return len(self.lba)
+
+
+class RefRecord:
+    """One journaled by-reference batch: a pool key plus an op range.
+
+    Recovery resolves the columns through the session's
+    :class:`~repro.service.pool.TracePool`; the record itself carries no
+    op data.
+    """
+
+    __slots__ = ("seq", "key", "start", "stop")
+
+    def __init__(self, seq: int, key: str, start: int, stop: int) -> None:
+        self.seq = seq
+        self.key = key
+        self.start = start
+        self.stop = stop
+
+    def __len__(self) -> int:
+        return self.stop - self.start
 
 
 def _encode(seq: int, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray) -> bytes:
@@ -78,29 +134,83 @@ def _decode_payload(seq: int, n: int, payload: bytes) -> JournalRecord:
     return JournalRecord(seq, is_read, lba, length)
 
 
-def _scan_segment(path: Path, truncate_torn: bool) -> List[JournalRecord]:
+def _ref_crc(key_bytes: bytes, start: int, stop: int) -> int:
+    return zlib.crc32(key_bytes + struct.pack("<QQ", start, stop))
+
+
+def _scan_one(data: bytes, offset: int):
+    """Decode the record starting at ``offset``; ``(records, end)`` or None.
+
+    Returns None on any structural damage or CRC mismatch — the caller
+    truncates there.  A group record expands into one
+    :class:`JournalRecord` per member batch.
+    """
+    if offset + 4 > len(data):
+        return None
+    (magic,) = struct.unpack_from("<I", data, offset)
+    if magic == _MAGIC:
+        if offset + _HEADER.size > len(data):
+            return None
+        _, seq, n, crc = _HEADER.unpack_from(data, offset)
+        end = offset + _HEADER.size + n * (1 + 8 + 8)
+        if end > len(data):
+            return None
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            return None
+        return [_decode_payload(seq, n, payload)], end
+    if magic == _GROUP_MAGIC:
+        if offset + _GROUP_HEADER.size > len(data):
+            return None
+        _, first_seq, k, crc = _GROUP_HEADER.unpack_from(data, offset)
+        counts_at = offset + _GROUP_HEADER.size
+        payload_at = counts_at + 4 * k
+        if payload_at > len(data):
+            return None
+        counts = struct.unpack_from(f"<{k}I", data, counts_at)
+        end = payload_at + sum(counts) * (1 + 8 + 8)
+        if end > len(data):
+            return None
+        if zlib.crc32(data[counts_at:end]) != crc:
+            return None
+        records = []
+        at = payload_at
+        for i, n in enumerate(counts):
+            nxt = at + n * (1 + 8 + 8)
+            records.append(_decode_payload(first_seq + i, n, data[at:nxt]))
+            at = nxt
+        return records, end
+    if magic == _REF_MAGIC:
+        if offset + _REF_HEADER.size + _REF_KEY_BYTES > len(data):
+            return None
+        _, seq, start, stop, crc = _REF_HEADER.unpack_from(data, offset)
+        key_at = offset + _REF_HEADER.size
+        end = key_at + _REF_KEY_BYTES
+        key_bytes = data[key_at:end]
+        if _ref_crc(key_bytes, start, stop) != crc:
+            return None
+        return [RefRecord(seq, key_bytes.hex(), start, stop)], end
+    return None
+
+
+def _scan_segment(path: Path, truncate_torn: bool) -> List[Union[JournalRecord, RefRecord]]:
     """Decode a segment, optionally truncating a torn/corrupt tail in place.
 
     Valid records strictly precede the first damaged byte (records are
     fsynced in order), so truncation never discards acknowledged data.
     """
-    records: List[JournalRecord] = []
+    records: List[Union[JournalRecord, RefRecord]] = []
     with open(path, "rb") as handle:
         data = handle.read()
     offset = 0
     good_end = 0
-    while offset + _HEADER.size <= len(data):
-        magic, seq, n, crc = _HEADER.unpack_from(data, offset)
-        payload_len = n * (1 + 8 + 8)
-        end = offset + _HEADER.size + payload_len
-        if magic != _MAGIC or end > len(data):
+    while offset < len(data):
+        decoded = _scan_one(data, offset)
+        if decoded is None:
             break
-        payload = data[offset + _HEADER.size : end]
-        if zlib.crc32(payload) != crc:
-            break
-        records.append(_decode_payload(seq, n, payload))
-        offset = end
-        good_end = end
+        batch_records, offset = decoded
+        records.extend(batch_records)
+        good_end = offset
     if truncate_torn and good_end < len(data):
         with open(path, "r+b") as handle:
             handle.truncate(good_end)
@@ -154,9 +264,64 @@ class OpJournal:
         self, seq: int, is_read: np.ndarray, lba: np.ndarray, length: np.ndarray
     ) -> None:
         """Durably journal one batch (fsync before returning)."""
+        self._write_durably(_encode(seq, is_read, lba, length))
+
+    def append_group(
+        self, first_seq: int, counts: Sequence[int], payload: bytes
+    ) -> None:
+        """Durably journal a coalesced run of contiguous batches.
+
+        ``payload`` is the byte concatenation of the batches' columnar
+        payloads (:mod:`repro.service.wire` layout) and ``counts[i]`` the
+        op count of batch ``first_seq + i``.  The whole group lands as one
+        record under one CRC with **one** fsync — the group-commit write;
+        recovery expands it back into per-batch records, so dedupe/gap
+        semantics are unchanged.
+        """
+        k = len(counts)
+        if k == 0:
+            return
+        counts_bytes = struct.pack(f"<{k}I", *counts)
+        expected = sum(int(n) for n in counts) * (1 + 8 + 8)
+        if len(payload) != expected:
+            raise ValueError(
+                f"group payload is {len(payload)} bytes; counts need {expected}"
+            )
+        crc = zlib.crc32(counts_bytes + payload)
+        self._write_durably(
+            _GROUP_HEADER.pack(_GROUP_MAGIC, first_seq, k, crc)
+            + counts_bytes
+            + payload
+        )
+
+    def append_refs(
+        self, refs: Sequence[Tuple[int, str, int, int]]
+    ) -> None:
+        """Durably journal by-reference batches, one fsync for the run.
+
+        ``refs`` is a sequence of ``(seq, key_hex, start, stop)``; each
+        becomes its own tiny record, but the fsync is paid once (group
+        commit for the ref wire).
+        """
+        if not refs:
+            return
+        blobs = []
+        for seq, key, start, stop in refs:
+            key_bytes = bytes.fromhex(key)
+            if len(key_bytes) != _REF_KEY_BYTES:
+                raise ValueError(f"pool key must be {_REF_KEY_BYTES} bytes hex, got {key!r}")
+            blobs.append(
+                _REF_HEADER.pack(
+                    _REF_MAGIC, seq, start, stop, _ref_crc(key_bytes, start, stop)
+                )
+                + key_bytes
+            )
+        self._write_durably(b"".join(blobs))
+
+    def _write_durably(self, blob: bytes) -> None:
         if self._handle is None:
             raise RuntimeError("journal segment not open; call open_segment first")
-        self._handle.write(_encode(seq, is_read, lba, length))
+        self._handle.write(blob)
         self._handle.flush()
         os.fsync(self._handle.fileno())
 
@@ -174,8 +339,14 @@ class OpJournal:
     # Recovery
     # ----------------------------------------------------------------- #
 
-    def replay_after(self, applied_seq: int) -> Iterator[JournalRecord]:
+    def replay_after(
+        self, applied_seq: int
+    ) -> Iterator[Union[JournalRecord, RefRecord]]:
         """Records with ``seq > applied_seq`` across segments, in order.
+
+        Group records are expanded into their member batches; ref records
+        are yielded as :class:`RefRecord` for the caller to resolve
+        through its pool.
 
         Scans every segment that could contain such records (ascending),
         truncating torn tails as it goes.  Records at or below

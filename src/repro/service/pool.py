@@ -1,0 +1,131 @@
+"""Shared mmap op pool: N workers map one machine-wide copy of a trace.
+
+The PR 5 compiled-trace store (:class:`~repro.trace.store.TraceStore`)
+already keeps each parsed/synthesized trace as a content-addressed entry
+of page-aligned ``.npy`` columns that any process can ``mmap`` read-only.
+This module is the *serving-side* view of that store: a
+:class:`TracePool` resolves a store **key** (the entry's directory name —
+the SHA-256 of its parse/synthesis identity) straight to the
+``(is_read, lba, length)`` columns, without knowing or re-deriving the
+meta that produced the key.
+
+Why the daemon wants this: with the ``"ref"`` wire a client that streams
+a stored trace sends ``(key, start, stop)`` instead of op bytes, and
+
+* the batch crosses client → daemon → worker as ~100 bytes however large
+  it is;
+* the WAL journals a 60-byte ref record instead of re-writing the ops
+  (see :class:`~repro.service.journal.RefRecord`);
+* every worker process that replays the same trace maps the **same**
+  physical pages out of the OS page cache — N tenants replaying one
+  workload cost one copy of it machine-wide, not N private loads.
+
+Durability contract: a pool entry is immutable, content-addressed, and
+fsynced before it is published (:func:`repro.util.npystore.commit_entry_dir`),
+so a journal tail that refs it can always be re-resolved at recovery.
+The pool never deletes entries; whoever clears the backing store must
+retire the sessions journaled against it first (recovery raises on an
+unresolvable key instead of guessing).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.trace.store import STORE_SCHEMA, TraceStore, meta_key
+from repro.trace.trace import Trace
+from repro.util.npystore import load_mmap_npy
+
+Columns = Tuple[np.ndarray, np.ndarray, np.ndarray]
+
+_COLUMNS = ("is_read", "lba", "length")
+
+
+class PoolMissError(KeyError):
+    """The pool has no (intact) entry under the requested key."""
+
+
+class TracePool:
+    """Read-only, per-process resolver of content-addressed op columns.
+
+    Args:
+        root: The backing :class:`~repro.trace.store.TraceStore` directory.
+        max_entries: Resident mmap handles kept per process (LRU); the
+            arrays themselves live in the shared page cache, this only
+            bounds open file handles.
+    """
+
+    def __init__(
+        self, root: Union[str, Path], max_entries: int = 16
+    ) -> None:
+        self.root = Path(root)
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self._max_entries = max_entries
+        self._open: "OrderedDict[str, Tuple[Columns, int]]" = OrderedDict()
+
+    def resolve(self, key: str) -> Tuple[Columns, int]:
+        """The full ``(is_read, lba, length)`` columns and op count for ``key``.
+
+        Columns are zero-copy read-only mmap views.  Raises
+        :class:`PoolMissError` when the entry is absent, torn, or not a
+        schema-2 store entry (the pool never deletes — healing is the
+        writing store's job).
+        """
+        cached = self._open.get(key)
+        if cached is not None:
+            self._open.move_to_end(key)
+            return cached
+        path = self.root / key
+        try:
+            with open(path / "header.json") as handle:
+                header = json.load(handle)
+            if header.get("schema") != STORE_SCHEMA:
+                raise ValueError("not a schema-2 store entry")
+            columns = []
+            for name in _COLUMNS:
+                column = load_mmap_npy(path / f"{name}.npy")
+                column.setflags(write=False)
+                columns.append(column)
+            ops = int(header.get("ops", -1))
+            if any(len(c) != ops for c in columns):
+                raise ValueError("column length mismatch")
+        except (OSError, ValueError, KeyError) as exc:
+            raise PoolMissError(
+                f"pool entry {key!r} missing or unreadable under {self.root}: {exc}"
+            ) from exc
+        entry = ((columns[0], columns[1], columns[2]), ops)
+        self._open[key] = entry
+        while len(self._open) > self._max_entries:
+            self._open.popitem(last=False)
+        return entry
+
+    def slice(self, key: str, start: int, stop: int) -> Columns:
+        """Columns for ops ``[start, stop)`` of entry ``key`` (mmap views)."""
+        (is_read, lba, length), ops = self.resolve(key)
+        start, stop = int(start), int(stop)
+        if not (0 <= start <= stop <= ops):
+            raise ValueError(
+                f"ref range [{start}, {stop}) out of bounds for pool entry "
+                f"{key!r} with {ops} ops"
+            )
+        return is_read[start:stop], lba[start:stop], length[start:stop]
+
+
+def publish_trace(
+    store: TraceStore, trace: Trace, meta: dict
+) -> str:
+    """Publish ``trace`` into ``store`` under ``meta``; returns the pool key.
+
+    Thin convenience for ref-wire clients: after this returns, the key is
+    resolvable by every :class:`TracePool` rooted at the same directory
+    (the commit is fsynced + atomic, so refs to it are immediately safe
+    to journal).
+    """
+    store.store(trace, meta)
+    return meta_key(meta)

@@ -6,11 +6,15 @@ through their paces, in-process and deterministic:
 1. Start a :class:`~repro.service.daemon.ReplayDaemon` on a free port
    (own event loop in a background thread).
 2. Stream three concurrent tenants — different technique configs,
-   ~10k ops total — through real sockets with the resyncing client.
+   ~10k ops total — through real sockets: two on the **pipelined binary
+   wire** (so the daemon coalesces their batches into group commits,
+   and the chaos below lands with a window of batches in flight), one
+   on the sequential JSON fallback (the PR 6 reference path).
 3. Mid-stream, ``SIGKILL`` one tenant's worker (supervised restart +
-   WAL recovery) and, for another, force a checkpoint, corrupt it on
-   disk, then kill that worker too (restart must *fall back* to the
-   previous checkpoint and replay the longer journal tail).
+   WAL recovery, including group-committed records) and, for another,
+   force a checkpoint, corrupt it on disk, then kill that worker too
+   (restart must *fall back* to the previous checkpoint and replay the
+   longer journal tail).
 4. Drain the streams, then compare every tenant's live stats, SAF and
    fragment CDF against an offline one-shot replay of the same op
    stream — they must match **exactly**.
@@ -23,7 +27,6 @@ can print or assert on it.
 
 from __future__ import annotations
 
-import asyncio
 import threading
 import time
 from pathlib import Path
@@ -42,23 +45,27 @@ from repro.core.config import (
 )
 from repro.faults.service_faults import corrupt_newest_checkpoint, kill_worker
 from repro.service.client import ReplayClient
-from repro.service.daemon import DaemonConfig, ReplayDaemon
+from repro.service.daemon import DaemonConfig
+from repro.service.harness import DaemonThread
 from repro.service.supervisor import SupervisorConfig
 from repro.workloads.generator import generate_workload
 from repro.workloads.table1 import get_spec
 
+#: (tenant, workload, config, wire) — alpha/bravo stream the pipelined
+#: binary wire (coalesced group commits take the chaos hits), charlie
+#: exercises the negotiated JSON fallback.
 _TENANTS = (
-    ("alpha", "usr_0", LS),
-    ("bravo", "hm_1", LS_DEFRAG),
-    ("charlie", "src2_2", LS_CACHE),
+    ("alpha", "usr_0", LS, "bin"),
+    ("bravo", "hm_1", LS_DEFRAG, "bin"),
+    ("charlie", "src2_2", LS_CACHE, "json"),
 )
 
 
-class _DaemonThread:
-    """A daemon with its own event loop in a background thread."""
+class _DaemonThread(DaemonThread):
+    """The smoke/test-suite daemon: small queues, fast checkpoints."""
 
     def __init__(self, root: Path) -> None:
-        self.daemon = ReplayDaemon(
+        super().__init__(
             root,
             config=DaemonConfig(port=0, queue_depth=8, deadline_s=30.0),
             supervisor_config=SupervisorConfig(
@@ -68,30 +75,6 @@ class _DaemonThread:
                 checkpoint_interval_ops=1200,
             ),
         )
-        self._loop = asyncio.new_event_loop()
-        self._thread = threading.Thread(
-            target=self._run, name="repro-serve-smoke", daemon=True
-        )
-        self._started = threading.Event()
-
-    def _run(self) -> None:
-        asyncio.set_event_loop(self._loop)
-        self._loop.run_until_complete(self.daemon.start())
-        self._started.set()
-        self._loop.run_forever()
-
-    def start(self) -> int:
-        self._thread.start()
-        if not self._started.wait(timeout=30):
-            raise RuntimeError("daemon failed to start within 30s")
-        return self.daemon.port
-
-    def stop(self) -> None:
-        future = asyncio.run_coroutine_threadsafe(self.daemon.stop(), self._loop)
-        future.result(timeout=60)
-        self._loop.call_soon_threadsafe(self._loop.stop)
-        self._thread.join(timeout=30)
-        self._loop.close()
 
 
 def _tenant_stream(workload: str, ops: int):
@@ -127,7 +110,7 @@ def run_smoke(
     root = Path(root)
     streams = {
         tenant: _tenant_stream(workload, ops_per_tenant)
-        for tenant, workload, _ in _TENANTS
+        for tenant, workload, _, _ in _TENANTS
     }
     server = _DaemonThread(root)
     port = server.start()
@@ -135,35 +118,58 @@ def run_smoke(
     say(f"daemon up on 127.0.0.1:{port}")
 
     errors: List[BaseException] = []
-    halfway = {tenant: threading.Event() for tenant, _, _ in _TENANTS}
-    resume = {tenant: threading.Event() for tenant, _, _ in _TENANTS}
+    halfway = {tenant: threading.Event() for tenant, _, _, _ in _TENANTS}
+    resume = {tenant: threading.Event() for tenant, _, _, _ in _TENANTS}
 
-    def stream_tenant(tenant: str, config: TechniqueConfig) -> None:
+    def stream_tenant(tenant: str, config: TechniqueConfig, wire: str) -> None:
         try:
             is_read, lba, length, capacity = streams[tenant]
-            with ReplayClient("127.0.0.1", port, tenant) as client:
+            with ReplayClient("127.0.0.1", port, tenant, wire=wire) as client:
                 client.open(config, capacity)
+                assert client.wire == wire, (client.wire, wire)
                 n = len(lba)
-                paused = False
-                for start in range(0, n, batch_ops):
-                    end = min(start + batch_ops, n)
-                    client.apply_with_retry(
-                        is_read[start:end], lba[start:end], length[start:end]
-                    )
-                    if not paused and end * 2 >= n:
-                        # Hold here so the chaos injection happens at a
-                        # known point in the stream, not racing it.
-                        paused = True
-                        halfway[tenant].set()
-                        resume[tenant].wait(timeout=120)
+                if wire == "bin":
+                    # Pipelined binary stream: the generator holds at
+                    # halfway (with a window of batches still in flight)
+                    # so chaos lands mid-group, then resumes.
+                    def batch_gen():
+                        paused = False
+                        for start in range(0, n, batch_ops):
+                            end = min(start + batch_ops, n)
+                            yield (
+                                is_read[start:end],
+                                lba[start:end],
+                                length[start:end],
+                            )
+                            if not paused and end * 2 >= n:
+                                paused = True
+                                halfway[tenant].set()
+                                resume[tenant].wait(timeout=120)
+
+                    client.apply_stream(batch_gen(), window=8)
+                else:
+                    paused = False
+                    for start in range(0, n, batch_ops):
+                        end = min(start + batch_ops, n)
+                        client.apply_with_retry(
+                            is_read[start:end], lba[start:end], length[start:end]
+                        )
+                        if not paused and end * 2 >= n:
+                            # Hold here so the chaos injection happens at
+                            # a known point in the stream, not racing it.
+                            paused = True
+                            halfway[tenant].set()
+                            resume[tenant].wait(timeout=120)
                 assert client.applied_seq() == client.next_seq - 1
         except BaseException as exc:  # surfaced by the main thread
             halfway[tenant].set()
             errors.append(exc)
 
     threads = [
-        threading.Thread(target=stream_tenant, args=(tenant, config), daemon=True)
-        for tenant, _, config in _TENANTS
+        threading.Thread(
+            target=stream_tenant, args=(tenant, config, wire), daemon=True
+        )
+        for tenant, _, config, wire in _TENANTS
     ]
     for thread in threads:
         thread.start()
@@ -207,7 +213,7 @@ def run_smoke(
 
     # Verify: live state must equal the offline one-shot replay exactly.
     summary: Dict[str, dict] = {}
-    for tenant, _, config in _TENANTS:
+    for tenant, _, config, _wire in _TENANTS:
         is_read, lba, length, capacity = streams[tenant]
         reference = _offline_reference(config, capacity, is_read, lba, length)
         ref_stats = reference.stats()

@@ -103,15 +103,22 @@ class Supervisor:
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         on_worker_death: Optional[Callable[[str, int], None]] = None,
+        pool_root: Optional[Path] = None,
     ) -> None:
         self._root = Path(root)
         self._config = config or SupervisorConfig()
         self._clock = clock
         self._sleep = sleep
         self._on_worker_death = on_worker_death
+        self._pool_root = str(pool_root) if pool_root is not None else None
         self._tenants: Dict[str, _Tenant] = {}
         self._registry_lock = threading.Lock()
         self._ctx = multiprocessing.get_context("spawn")
+
+    @property
+    def pool_root(self) -> Optional[str]:
+        """Shared mmap pool directory handed to every worker (or None)."""
+        return self._pool_root
 
     # ----------------------------------------------------------------- #
     # Lifecycle
@@ -250,6 +257,7 @@ class Supervisor:
                 config_to_dict(tenant.config),
                 tenant.frontier_base,
                 self._config.checkpoint_interval_ops,
+                self._pool_root,
             ),
             daemon=True,
             name=f"repro-session-{tenant.name}",

@@ -13,6 +13,14 @@ request, op columns as raw ``bytes`` (the pickle cost of a list of ints
 dwarfs everything else at streaming rates):
 
 * ``{"cmd": "apply", "seq", "n", "is_read", "lba", "length"}``
+* ``{"cmd": "apply_group", "first_seq", "counts", "payload"}`` — a
+  coalesced run of contiguous binary-wire batches; ``payload`` is the
+  daemon's concatenated columnar buffer (:mod:`repro.service.wire`),
+  passed through the pipe *verbatim* and journaled by byte slice.
+  Responds ``{"ok": True, "acks": [one response dict per batch]}``.
+* ``{"cmd": "apply_refs", "first_seq", "refs"}`` — contiguous
+  by-reference batches (``refs[i] = (key_hex, start, stop)`` into the
+  shared mmap pool); same grouped-acks response.
 * ``{"cmd": "query", "kind", "params"}``
 * ``{"cmd": "checkpoint"}``
 * ``{"cmd": "crash"}`` — chaos hook: ``os._exit`` without cleanup,
@@ -32,6 +40,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import config_from_dict
+from repro.service.pool import TracePool
 from repro.service.session import ReplaySession, SequenceGapError
 
 
@@ -60,16 +69,24 @@ def worker_main(
     config_dict: dict,
     frontier_base: int,
     checkpoint_interval_ops: int,
+    pool_root: Optional[str] = None,
 ) -> None:
-    """Entry point of the spawned worker process."""
+    """Entry point of the spawned worker process.
+
+    ``pool_root``, when set, is the machine-wide content-addressed trace
+    store every worker resolves by-reference batches through — the mmap
+    pages are shared across all workers by the OS page cache.
+    """
     session: Optional[ReplaySession] = None
     try:
+        pool = TracePool(pool_root) if pool_root else None
         session = ReplaySession.open(
             tenant=tenant,
             root=root,
             config=config_from_dict(config_dict),
             frontier_base=frontier_base,
             checkpoint_interval_ops=checkpoint_interval_ops,
+            pool=pool,
         )
         conn.send({"ok": True, "ready": True, "applied_seq": session.applied_seq})
     except Exception as exc:
@@ -92,6 +109,19 @@ def worker_main(
                     int(message["seq"]), *decode_ops(message)
                 )
                 conn.send({"ok": True, **ack})
+            elif cmd == "apply_group":
+                acks = session.apply_group_payload(
+                    int(message["first_seq"]),
+                    [int(n) for n in message["counts"]],
+                    message["payload"],
+                )
+                conn.send({"ok": True, "acks": acks})
+            elif cmd == "apply_refs":
+                acks = session.apply_ref_group(
+                    int(message["first_seq"]),
+                    [(str(k), int(s), int(e)) for k, s, e in message["refs"]],
+                )
+                conn.send({"ok": True, "acks": acks})
             elif cmd == "query":
                 result = session.query(
                     message["kind"], **message.get("params", {})

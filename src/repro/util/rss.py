@@ -1,0 +1,32 @@
+"""Peak-RSS capture for benchmark and load-harness reports.
+
+``getrusage`` high-water marks are the cheapest honest memory metric:
+no sampling thread to miss the peak, no /proc scraping, and
+``RUSAGE_CHILDREN`` folds in reaped worker processes — which is where a
+multi-tenant serving run actually spends its memory.  The number is a
+*high-water* mark for the whole process lifetime, so measure deltas by
+recording it before and after if a phase-local figure is needed.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def peak_rss_mib(include_children: bool = True) -> float:
+    """Peak resident set size of this process (and reaped children), MiB.
+
+    Returns 0.0 on platforms without :mod:`resource` (Windows) rather
+    than raising — callers embed this in reports where a missing metric
+    beats a crashed run.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0.0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if include_children:
+        peak += resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes
+        peak /= 1024.0
+    return peak / 1024.0

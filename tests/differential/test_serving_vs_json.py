@@ -1,0 +1,251 @@
+"""Differential oracle for the serving data plane (PR 9).
+
+The binary + coalesced path earns its throughput only if it is
+*indistinguishable* from the PR 6 JSON path in every observable:
+
+* a coalesced group commit leaves the session in exactly the state N
+  per-batch applies would have (same queries, same stats);
+* a daemon serving a pipelined binary client converges to the same
+  state as one serving a sequential JSON client — and both match an
+  offline replay of the same columns;
+* ``kill -9`` mid-group recovers byte-identically (a group WAL record
+  expands to the same ops the per-batch records would have held);
+* overload sheds + client resend converge to the reference state with
+  no ops lost or double-applied.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LS, LS_ALL
+from repro.load.driver import TenantLoad, run_load
+from repro.service.client import ReplayClient
+from repro.service.daemon import DaemonConfig
+from repro.service.harness import DaemonThread
+from repro.service.session import ReplaySession
+from repro.service.wire import encode_payload
+from tests.service.helpers import (
+    CAPACITY,
+    batches,
+    make_columns,
+    reference_queries,
+    session_queries,
+)
+
+QUERY_KINDS = ("applied", "stats", "saf", "fragment_cdf", "seek_budget")
+
+
+def jsonify(queries: dict) -> dict:
+    """Session-level query results as a daemon client would see them
+    (the socket's JSON hop turns tuples into lists)."""
+    import json
+
+    return json.loads(json.dumps(queries))
+
+
+def group_payload(batch_list):
+    """(counts, payload) for a run of (seq, is_read, lba, length) batches."""
+    counts = [len(b[1]) for b in batch_list]
+    payload = b"".join(encode_payload(*b[1:]) for b in batch_list)
+    return counts, payload
+
+
+@pytest.mark.parametrize("group_size", [1, 3, 16])
+def test_group_commit_equals_per_batch(tmp_path, group_size):
+    columns = make_columns(1600, seed=11)
+    all_batches = batches(columns, 100)
+
+    per_batch = ReplaySession.create(
+        "pb", tmp_path / "pb", LS_ALL, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    for seq, is_read, lba, length in all_batches:
+        per_batch.apply_batch(seq, is_read, lba, length)
+
+    grouped = ReplaySession.create(
+        "gp", tmp_path / "gp", LS_ALL, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    for start in range(0, len(all_batches), group_size):
+        run = all_batches[start : start + group_size]
+        counts, payload = group_payload(run)
+        responses = grouped.apply_group_payload(run[0][0], counts, payload)
+        assert [r["seq"] for r in responses] == [b[0] for b in run]
+        assert all(r["ok"] and not r["duplicate"] for r in responses)
+
+    assert session_queries(grouped) == session_queries(per_batch)
+    assert grouped.stats() == per_batch.stats()
+    per_batch.close()
+    grouped.close()
+
+
+def test_group_commit_acks_duplicates_like_sequential(tmp_path):
+    columns = make_columns(600, seed=13)
+    all_batches = batches(columns, 100)
+    session = ReplaySession.create(
+        "t", tmp_path / "t", LS, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    counts, payload = group_payload(all_batches[:4])
+    session.apply_group_payload(1, counts, payload)
+
+    # Resend a group whose head overlaps already-applied seqs: the tail
+    # applies, the head acks as duplicate — exactly the sequential
+    # contract the client's resync path relies on.
+    counts, payload = group_payload(all_batches[2:])
+    responses = session.apply_group_payload(3, counts, payload)
+    assert [r["duplicate"] for r in responses] == [True, True, False, False]
+    assert session.applied_seq == 6
+
+    reference = ReplaySession.create(
+        "ref", tmp_path / "ref", LS, CAPACITY, checkpoint_interval_ops=10**9
+    )
+    for seq, is_read, lba, length in all_batches:
+        reference.apply_batch(seq, is_read, lba, length)
+    assert session_queries(session) == session_queries(reference)
+    session.close()
+    reference.close()
+
+
+def test_kill9_mid_group_recovers_byte_identical(tmp_path):
+    """Crash after group commits, with a torn record at the WAL tail."""
+    columns = make_columns(900, seed=5)
+    all_batches = batches(columns, 100)
+    expected = reference_queries(
+        tmp_path / "ref", LS_ALL, columns, batch_ops=100
+    )
+
+    root = tmp_path / "crashed"
+    session = ReplaySession.create(
+        "t", root, LS_ALL, CAPACITY, checkpoint_interval_ops=250
+    )
+    # Two groups of three: an auto-checkpoint lands inside (250-op
+    # interval), so recovery replays a group-record tail on top of it.
+    for start in (0, 3):
+        counts, payload = group_payload(all_batches[start : start + 3])
+        session.apply_group_payload(start + 1, counts, payload)
+    with open(session._journal._segment, "ab") as handle:
+        handle.write(b"\x31GJR\x00torn-group")
+    del session  # kill -9: no close, no final checkpoint
+
+    recovered = ReplaySession.open(
+        "t", root, LS_ALL, CAPACITY, checkpoint_interval_ops=250
+    )
+    assert recovered.applied_seq == 6
+    for seq, is_read, lba, length in all_batches[6:]:
+        recovered.apply_batch(seq, is_read, lba, length)
+    assert session_queries(recovered) == expected
+    recovered.close()
+
+
+@pytest.mark.slow
+def test_binary_pipelined_daemon_matches_json_sequential(tmp_path):
+    """Same columns through both wires of a live daemon == offline replay."""
+    columns = make_columns(4000, seed=21)
+    all_batches = batches(columns, 250)
+    expected = jsonify(
+        reference_queries(tmp_path / "ref", LS, columns, batch_ops=250)
+    )
+
+    server = DaemonThread(
+        tmp_path / "state", config=DaemonConfig(port=0, queue_depth=64)
+    )
+    port = server.start()
+    try:
+        with ReplayClient("127.0.0.1", port, "json_t", wire="json") as json_c:
+            json_c.open(LS, CAPACITY)
+            for _, is_read, lba, length in all_batches:
+                json_c.apply_with_retry(is_read, lba, length)
+            json_queries = {k: json_c.query(k) for k in QUERY_KINDS}
+
+        with ReplayClient("127.0.0.1", port, "bin_t", wire="bin") as bin_c:
+            bin_c.open(LS, CAPACITY)
+            result = bin_c.apply_stream(
+                (b[1:] for b in all_batches), window=16
+            )
+            assert result["batches"] == len(all_batches)
+            bin_queries = {k: bin_c.query(k) for k in QUERY_KINDS}
+    finally:
+        server.stop()
+
+    assert bin_queries == expected
+    assert json_queries == expected
+
+
+@pytest.mark.slow
+def test_overload_shed_and_resend_converge(tmp_path):
+    """A queue two deep against a 16-wide window must shed; the client's
+    resync+resend must still land every op exactly once."""
+    columns = make_columns(4000, seed=33)
+    all_batches = batches(columns, 100)
+    expected = jsonify(
+        reference_queries(tmp_path / "ref", LS, columns, batch_ops=100)
+    )
+
+    server = DaemonThread(
+        tmp_path / "state",
+        config=DaemonConfig(port=0, queue_depth=2, coalesce_batches=4),
+    )
+    port = server.start()
+    try:
+        with ReplayClient("127.0.0.1", port, "t", wire="bin") as client:
+            client.open(LS, CAPACITY)
+            result = client.apply_stream(
+                (b[1:] for b in all_batches), window=16
+            )
+            live = {k: client.query(k) for k in QUERY_KINDS}
+    finally:
+        server.stop()
+
+    assert result["batches"] == len(all_batches)
+    assert result["resyncs"] > 0, "queue_depth=2 never shed a 16-wide window"
+    assert live == expected
+
+
+@pytest.mark.slow
+def test_load_driver_run_is_replayable_offline(tmp_path):
+    """The harness's own mixture stream through the daemon == offline.
+
+    This is what makes `repro load` a *differential* workload, not just
+    a throughput toy: every run it drives is reproducible from
+    (components, seed, ops) after the fact.
+    """
+    spec = TenantLoad(
+        name="t0",
+        components=(("hm_1", 0.8), ("usr_1", 0.2)),
+        config=LS,
+        total_ops=6_000,
+        batch_ops=500,
+        wire="bin",
+        window=8,
+        seed=29,
+    )
+    server = DaemonThread(
+        tmp_path / "state", config=DaemonConfig(port=0, queue_depth=64)
+    )
+    port = server.start()
+    try:
+        report = run_load(
+            "127.0.0.1", port, [spec], live_queries=False
+        )
+        assert report.resyncs == 0
+        with ReplayClient("127.0.0.1", port, "t0") as client:
+            live_stats = client.query("stats")
+    finally:
+        server.stop()
+
+    from repro.load.mixture import build_mixture
+
+    is_read, lba, length, capacity = build_mixture(
+        spec.components, spec.total_ops, seed=spec.seed
+    )
+    offline = ReplaySession.create(
+        "offline", tmp_path / "offline", LS, capacity,
+        checkpoint_interval_ops=10**9,
+    )
+    for i in range(0, spec.total_ops, spec.batch_ops):
+        stop = min(i + spec.batch_ops, spec.total_ops)
+        n = len(lba)
+        idx = np.arange(i, stop) % n  # driver cycles its base columns
+        offline.apply_batch(
+            i // spec.batch_ops + 1, is_read[idx], lba[idx], length[idx]
+        )
+    assert live_stats == offline.query("stats")
+    offline.close()

@@ -1,0 +1,65 @@
+"""Arrival schedules: monotonic offsets, mean-rate preservation."""
+
+import numpy as np
+import pytest
+
+from repro.load.schedule import KINDS, arrival_offsets
+
+
+def test_unthrottled_is_all_zeros():
+    for rate in (None, 0, -5.0):
+        offsets = arrival_offsets(40, 100, rate)
+        assert offsets.shape == (40,)
+        assert not offsets.any()
+
+
+def test_steady_hits_the_target_rate():
+    offsets = arrival_offsets(101, 200, 10_000.0)
+    gaps = np.diff(offsets)
+    np.testing.assert_allclose(gaps, 200 / 10_000.0)
+    # 100 gaps of 20ms: the run spans exactly 2 seconds.
+    assert offsets[-1] == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def test_offsets_are_non_decreasing_and_finite(kind):
+    offsets = arrival_offsets(
+        500, 100, 25_000.0, kind=kind, period_s=0.5, amplitude=0.8, duty=0.25
+    )
+    assert offsets.shape == (500,)
+    assert np.isfinite(offsets).all()
+    assert (np.diff(offsets) >= 0).all()
+    assert offsets[0] == 0.0
+
+
+def test_diurnal_modulates_but_preserves_the_mean():
+    steady = arrival_offsets(400, 100, 20_000.0, kind="steady")
+    diurnal = arrival_offsets(
+        400, 100, 20_000.0, kind="diurnal", period_s=1.0, amplitude=0.8
+    )
+    gaps = np.diff(diurnal)
+    # Peaks send faster than steady, troughs slower...
+    assert gaps.min() < np.diff(steady).min()
+    assert gaps.max() > np.diff(steady).max()
+    # ...while the whole run still lands near the steady duration.
+    assert diurnal[-1] == pytest.approx(steady[-1], rel=0.25)
+
+
+def test_burst_alternates_fire_and_silence():
+    offsets = arrival_offsets(
+        200, 100, 10_000.0, kind="burst", period_s=1.0, duty=0.25
+    )
+    gaps = np.diff(offsets)
+    # Intra-burst gaps run at rate/duty (4x speed); inter-burst gaps
+    # skip the rest of a period.
+    assert gaps.min() == pytest.approx(100 / (10_000.0 / 0.25))
+    assert gaps.max() > 0.5
+    # Every send happens inside the first `duty` of its period.
+    phase = np.mod(offsets, 1.0)
+    assert (phase < 0.25 + 1e-9).all()
+
+
+def test_empty_and_invalid():
+    assert arrival_offsets(0, 100, 1000.0).shape == (0,)
+    with pytest.raises(ValueError, match="unknown schedule"):
+        arrival_offsets(10, 100, 1000.0, kind="tidal")

@@ -1,0 +1,115 @@
+"""Shared mmap pool: resolve/slice contract and by-reference sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import LS
+from repro.service.pool import PoolMissError, TracePool, publish_trace
+from repro.service.session import ReplaySession
+from repro.trace.store import TraceStore, synthetic_meta
+from repro.workloads.generator import generate_workload
+from repro.workloads.table1 import get_spec
+from tests.service.helpers import session_queries
+
+
+@pytest.fixture()
+def published(tmp_path):
+    """A store with one tiny published trace; yields (pool, key, trace)."""
+    store = TraceStore(tmp_path / "store")
+    trace = generate_workload(get_spec("hm_1"), seed=7, scale=0.01)
+    key = publish_trace(store, trace, synthetic_meta("hm_1", 7, 0.01))
+    return TracePool(tmp_path / "store"), key, trace
+
+
+def test_resolve_returns_the_published_columns(published):
+    pool, key, trace = published
+    (is_read, lba, length), ops = pool.resolve(key)
+    exp_read, exp_lba, exp_length = trace.as_arrays()
+    assert ops == len(exp_lba)
+    np.testing.assert_array_equal(is_read, exp_read)
+    np.testing.assert_array_equal(lba, exp_lba)
+    np.testing.assert_array_equal(length, exp_length)
+    # The views are read-only mmaps — serving must never mutate the store.
+    with pytest.raises(ValueError):
+        lba[0] = 1
+
+
+def test_slice_bounds_are_checked(published):
+    pool, key, trace = published
+    ops = len(trace.as_arrays()[1])
+    is_read, lba, length = pool.slice(key, 5, 25)
+    assert len(lba) == 20
+    np.testing.assert_array_equal(lba, trace.as_arrays()[1][5:25])
+    for start, stop in ((-1, 5), (5, ops + 1), (10, 5)):
+        with pytest.raises(ValueError, match="ref range"):
+            pool.slice(key, start, stop)
+
+
+def test_unknown_key_is_a_pool_miss(published):
+    pool, _, _ = published
+    with pytest.raises(PoolMissError, match="deadbeef"):
+        pool.resolve("deadbeef")
+
+
+def test_torn_entry_is_a_pool_miss(tmp_path, published):
+    pool, key, _ = published
+    (pool.root / key / "lba.npy").unlink()
+    fresh = TracePool(pool.root)  # no cached handle
+    with pytest.raises(PoolMissError):
+        fresh.resolve(key)
+
+
+def test_lru_keeps_at_most_max_entries(tmp_path):
+    store = TraceStore(tmp_path / "store")
+    keys = []
+    for seed in (1, 2, 3):
+        trace = generate_workload(get_spec("hm_1"), seed=seed, scale=0.005)
+        keys.append(
+            publish_trace(store, trace, synthetic_meta("hm_1", seed, 0.005))
+        )
+    pool = TracePool(tmp_path / "store", max_entries=2)
+    for key in keys:
+        pool.resolve(key)
+    assert len(pool._open) == 2
+    # Oldest key got evicted but still resolves (re-opened on demand).
+    assert pool.resolve(keys[0])[1] > 0
+
+
+def test_ref_group_matches_payload_apply(tmp_path, published):
+    """apply_ref_group over the pool == feeding the same ops by value."""
+    pool, key, trace = published
+    is_read, lba, length = trace.as_arrays()
+    capacity = int(trace.max_end)
+    n = min(len(lba), 600)
+
+    by_value = ReplaySession.create(
+        "v", tmp_path / "v", LS, capacity, checkpoint_interval_ops=10**9
+    )
+    step = 100
+    for i, start in enumerate(range(0, n, step)):
+        stop = min(start + step, n)
+        by_value.apply_batch(
+            i + 1, is_read[start:stop], lba[start:stop], length[start:stop]
+        )
+
+    by_ref = ReplaySession.create(
+        "r", tmp_path / "r", LS, capacity,
+        checkpoint_interval_ops=10**9, pool=pool,
+    )
+    refs = [
+        (key, start, min(start + step, n)) for start in range(0, n, step)
+    ]
+    responses = by_ref.apply_ref_group(1, refs)
+    assert all(r["ok"] for r in responses)
+    assert session_queries(by_ref) == session_queries(by_value)
+    by_value.close()
+    by_ref.close()
+
+
+def test_ref_batch_without_pool_is_refused(tmp_path):
+    session = ReplaySession.create(
+        "t", tmp_path / "t", LS, 4096, checkpoint_interval_ops=10**9
+    )
+    with pytest.raises(ValueError, match="no shared pool"):
+        session.apply_ref_group(1, [("00ff", 0, 10)])
+    session.close()

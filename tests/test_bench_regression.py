@@ -422,3 +422,86 @@ class TestMain:
         assert (
             results["ingest_cold_parallel"]["jobs4"]["speedup_vs_reference"] >= 0.6
         )
+
+
+def _serving_report(
+    speedup=6.0,
+    group_speedup=1.4,
+    ops=1_000_000,
+    resyncs=0,
+    apply_p99=12.0,
+    query_p99=30.0,
+    rss=400.0,
+):
+    return {
+        "schema": 1,
+        "ops": ops,
+        "results": {
+            "serving": {
+                "ops": ops,
+                "reference": {"seconds": 10.0, "ops_per_s": ops / 10.0},
+                "binary": {
+                    "seconds": round(10.0 / speedup, 3),
+                    "speedup_vs_reference": speedup,
+                    "resyncs": resyncs,
+                    "apply_p99_ms": apply_p99,
+                    "query_p99_ms": query_p99,
+                },
+            },
+            "durability": {
+                "group_commit": {"speedup_vs_reference": group_speedup},
+            },
+        },
+        "peak_rss_mib": rss,
+    }
+
+
+class TestServingGate:
+    def _failures(self, report, **kwargs):
+        return [
+            msg
+            for ok, msg in check_regression.check_serving(report, **kwargs)
+            if not ok
+        ]
+
+    def test_healthy_report_passes_every_check(self):
+        assert self._failures(_serving_report()) == []
+
+    def test_each_floor_fails_independently(self):
+        for report, needle in (
+            (_serving_report(speedup=4.9), "binary+coalesced"),
+            (_serving_report(group_speedup=1.0), "group-commit"),
+            (_serving_report(ops=999_999), "serving ops"),
+            (_serving_report(resyncs=3), "resyncs"),
+            (_serving_report(apply_p99=0.0), "apply latency"),
+            (_serving_report(query_p99=None), "live-query latency"),
+            (_serving_report(rss=0), "RSS"),
+        ):
+            failures = self._failures(report)
+            assert len(failures) == 1, failures
+            assert needle in failures[0]
+
+    def test_custom_floors_are_respected(self):
+        report = _serving_report(speedup=3.0, group_speedup=1.05, ops=50_000)
+        assert self._failures(
+            report,
+            min_serving_speedup=2.5,
+            min_group_commit_speedup=1.01,
+            min_serving_ops=50_000,
+        ) == []
+
+    def test_serving_mode_cli_gates_only_the_serving_report(
+        self, tmp_path, capsys
+    ):
+        serving = tmp_path / "serving.json"
+        serving.write_text(json.dumps(_serving_report()))
+        assert check_regression.main(["--serving", str(serving)]) == 0
+        serving.write_text(json.dumps(_serving_report(speedup=2.0)))
+        assert check_regression.main(["--serving", str(serving)]) == 1
+        capsys.readouterr()
+
+    def test_checked_in_serving_report_satisfies_the_gate(self):
+        report = json.loads(
+            (_SCRIPT.parent / "BENCH_serving.json").read_text()
+        )
+        assert all(ok for ok, _ in check_regression.check_serving(report))

@@ -1,0 +1,100 @@
+"""Tier-1 gate for the serving benchmark harness (``make serve-bench-smoke``).
+
+``benchmarks/bench_serving.py`` is a plain script outside the package; a
+refactor of the load harness, the client, or the daemon can break it
+without any tier-1 import noticing.  This runs the whole thing — three
+end-to-end daemon runs (JSON reference, JSON large-batch, binary) plus
+the durability micro — at a tiny op count in a subprocess, purely to
+prove the harness executes and emits the report shape
+``check_regression.py --serving`` consumes.  No speedup is gated at this
+scale (worker startup dominates); the ratio gates run against the
+checked-in 1M-op ``BENCH_serving.json`` via ``make bench``.
+
+The subprocess boundary doubles as a hard watchdog: a wedged daemon or
+load thread fails the test instead of hanging the suite.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The smoke run takes ~15 s; a wedged service never finishes.
+WATCHDOG_S = 240
+
+
+@pytest.mark.slow
+def test_serving_benchmark_runs_at_smoke_scale(tmp_path):
+    out = tmp_path / "BENCH_serving_smoke.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    command = [
+        sys.executable,
+        str(REPO_ROOT / "benchmarks" / "bench_serving.py"),
+        "--ops",
+        "20000",
+        "--out",
+        str(out),
+    ]
+    try:
+        proc = subprocess.run(
+            command,
+            env=env,
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            timeout=WATCHDOG_S,
+        )
+    except subprocess.TimeoutExpired as exc:
+        pytest.fail(
+            f"bench_serving wedged past the {WATCHDOG_S}s watchdog\n"
+            f"stdout:\n{exc.stdout}\nstderr:\n{exc.stderr}"
+        )
+    assert proc.returncode == 0, (
+        f"bench_serving failed ({proc.returncode})\n"
+        f"stdout:\n{proc.stdout}\nstderr:\n{proc.stderr}"
+    )
+
+    report = json.loads(out.read_text())
+    assert report["ops"] == 20_000
+    serving = report["results"]["serving"]
+    for side in ("reference", "reference_large_batch", "binary"):
+        assert serving[side]["ops"] == 20_000
+        assert serving[side]["seconds"] > 0
+        assert serving[side]["resyncs"] == 0
+    assert serving["binary"]["speedup_vs_reference"] > 0
+    # The latency/footprint observables the 1M gate requires must be
+    # present at every scale — this is the shape contract.
+    assert serving["binary"]["apply_p99_ms"] > 0
+    assert serving["binary"]["query_p99_ms"] > 0
+    assert serving["binary"]["queries"] > 0
+    assert report["peak_rss_mib"] > 0
+
+    durability = report["results"]["durability"]
+    assert durability["group_commit"]["speedup_vs_reference"] > 0
+
+    # And the checked-in 1M report must still satisfy the gate itself.
+    gate = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "check_regression.py"),
+            "--serving",
+            str(REPO_ROOT / "benchmarks" / "BENCH_serving.json"),
+        ],
+        env=env,
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert gate.returncode == 0, (
+        f"checked-in BENCH_serving.json fails its own gate\n"
+        f"stdout:\n{gate.stdout}\nstderr:\n{gate.stderr}"
+    )
