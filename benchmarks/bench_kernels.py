@@ -23,6 +23,7 @@ speedup there needs >1 core, which CI containers may not have.
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import sys
@@ -36,7 +37,8 @@ from repro.analysis.fast import (
     nols_windowed_long_seeks,
 )
 from repro.analysis.temporal import WindowedSeekRecorder
-from repro.core.batch import batch_replay
+from repro.core.batch import batch_replay, batch_replay_translator
+from repro.core.cleaning import ZonedCleaningTranslator
 from repro.core.config import (
     LS,
     LS_ALL,
@@ -45,14 +47,23 @@ from repro.core.config import (
     TechniqueConfig,
     build_translator,
 )
+from repro.core.multifrontier import MultiFrontierTranslator
 from repro.core.recorders import SeekLogRecorder
 from repro.core.selective_cache import SelectiveCacheConfig
 from repro.core.simulator import replay
 from repro.experiments.sweep import SweepEngine
+from repro.extentmap.tiers import DEFAULT_KERNEL_TIER, make_address_map, resolve_map_tier
 from repro.trace.msr import parse_msr_file
 from repro.trace.store import TraceStore, load_trace
 from repro.trace.writers import write_msr_trace
-from repro.workloads import synthesize_workload
+from repro.util.units import mib_to_sectors
+from repro.workloads import (
+    ReadMix,
+    WorkloadSpec,
+    WriteMix,
+    generate_workload,
+    synthesize_workload,
+)
 
 DEFAULT_OPS = 1_000_000
 SCHEMA_VERSION = 1
@@ -69,11 +80,27 @@ CACHE_SWEEP_MIB = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256)
 
 
 def _timed(fn, repeat: int) -> float:
-    """Best-of-``repeat`` wall time (best-of absorbs scheduler noise)."""
+    """Best-of-``repeat`` wall time (best-of absorbs scheduler noise).
+
+    Cyclic GC is suspended around each rep: by the time the later
+    benchmarks run, the process retains millions of objects (traces,
+    recorded streams) from the earlier ones, and full collections
+    triggered mid-measurement scan all of them — charging earlier
+    benchmarks' garbage to whichever side happens to allocate more
+    containers.  Reference-counting still reclaims the (acyclic) bulk;
+    one explicit collect between reps drains any cycles.
+    """
     best = None
     for _ in range(repeat):
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
         start = time.perf_counter()
-        fn()
+        try:
+            fn()
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         elapsed = time.perf_counter() - start
         best = elapsed if best is None else min(best, elapsed)
     return best
@@ -101,6 +128,85 @@ def bench_replay_pair(trace, config, repeat: int) -> dict:
             "ops_per_s": round(n / batch_s),
             "speedup_vs_reference": round(reference_s / batch_s, 2),
         },
+    }
+
+
+def bench_multifrontier(trace, repeat: int) -> dict:
+    """Reference vs. batch replay of the multi-frontier (WOLF-style)
+    translator on the read-heavy trace.
+
+    Both sides drive hand-built translators (the exact construction the
+    ``ablation_multifrontier`` exhibit uses); the batch side runs on the
+    kernel extent-map tier, same as :func:`batch_replay` would pick.
+    """
+    def make(tier=None):
+        return MultiFrontierTranslator(
+            frontier_base=trace.max_end,
+            region_sectors=mib_to_sectors(2048.0),
+            address_map=make_address_map(tier),
+        )
+
+    kernel_tier = resolve_map_tier(DEFAULT_KERNEL_TIER)
+    reference_s = _timed(lambda: replay(trace, make()), repeat)
+    batch_s = _timed(
+        lambda: batch_replay_translator(trace, make(kernel_tier)), repeat
+    )
+    n = len(trace)
+    return {
+        "ops": n,
+        "reference": _side(reference_s, n),
+        "batch": _side(batch_s, n, reference_s),
+    }
+
+
+def _cleaning_workload(n_ops: int):
+    """A hot-overwrite workload against a finite log (forces cleaning)."""
+    spec = WorkloadSpec(
+        name="cleaning-bench",
+        family="cloudphysics",
+        total_ops=n_ops,
+        read_fraction=0.3,
+        mean_read_kib=16.0,
+        mean_write_kib=16.0,
+        working_set_mib=64,
+        hot_mib=32,
+        write_mix=WriteMix(random=0.5, hot_overwrite=0.5),
+        read_mix=ReadMix(scan=0.5, random=0.5),
+        phases=4,
+    )
+    return generate_workload(spec, seed=42)
+
+
+def bench_cleaning(n_ops: int, repeat: int) -> dict:
+    """Reference vs. batch replay of the zoned-cleaning translator.
+
+    The 256 MiB log (32 x 8 MiB zones) holds the workload's 64 MiB live
+    set with 4x over-provisioning, so at full scale the replay wraps the
+    log dozens of times and cleaning episodes dominate — the episodes
+    themselves run the same reference relocation code on both sides; the
+    batch win is the vectorized host stream between them.
+    """
+    trace = _cleaning_workload(n_ops)
+
+    def make(tier=None):
+        return ZonedCleaningTranslator(
+            frontier_base=trace.max_end,
+            zone_mib=8.0,
+            n_zones=32,
+            reserve_zones=2,
+            address_map=make_address_map(tier),
+        )
+
+    kernel_tier = resolve_map_tier(DEFAULT_KERNEL_TIER)
+    reference_s = _timed(lambda: replay(trace, make()), repeat)
+    batch_s = _timed(
+        lambda: batch_replay_translator(trace, make(kernel_tier)), repeat
+    )
+    n = len(trace)
+    return {
+        "ops": n,
+        "reference": _side(reference_s, n),
+        "batch": _side(batch_s, n, reference_s),
     }
 
 
@@ -421,6 +527,8 @@ def run(n_ops: int, repeat: int, include_runner: bool) -> dict:
         "replay_ls_all": bench_replay_pair(read_heavy, LS_ALL, repeat),
         "replay_ls_write_heavy": bench_replay_pair(write_heavy, LS, repeat),
         "replay_ls_write_heavy_all": bench_replay_pair(write_heavy, LS_ALL, repeat),
+        "replay_multifrontier": bench_multifrontier(read_heavy, repeat),
+        "replay_cleaning": bench_cleaning(n_ops, repeat),
         "sweep_fig11": bench_fig11_sweep(read_heavy, repeat),
         "sweep_cache_ablation": bench_cache_sweep(read_heavy, repeat),
         "ingest_msr": bench_ingest(read_heavy, repeat),

@@ -33,6 +33,8 @@ DEFAULT_MIN_SPEEDUP = 3.0
 DEFAULT_MIN_LS_ALL_SPEEDUP = 4.0
 DEFAULT_MIN_WRITE_HEAVY_SPEEDUP = 5.0
 DEFAULT_MIN_WRITE_HEAVY_ALL_SPEEDUP = 4.0
+DEFAULT_MIN_MULTIFRONTIER_SPEEDUP = 5.0
+DEFAULT_MIN_CLEANING_SPEEDUP = 5.0
 DEFAULT_MIN_INGEST_SPEEDUP = 3.0
 DEFAULT_MIN_WARM_SPEEDUP = 10.0
 DEFAULT_MIN_FIG11_SPEEDUP = 5.0
@@ -83,6 +85,8 @@ def check(
     min_write_heavy_all_speedup: float = DEFAULT_MIN_WRITE_HEAVY_ALL_SPEEDUP,
     min_cold_jobs_speedup: float = DEFAULT_MIN_COLD_JOBS_SPEEDUP,
     min_ingest_parallel_ratio: float = DEFAULT_MIN_INGEST_PARALLEL_RATIO,
+    min_multifrontier_speedup: float = DEFAULT_MIN_MULTIFRONTIER_SPEEDUP,
+    min_cleaning_speedup: float = DEFAULT_MIN_CLEANING_SPEEDUP,
 ):
     """Yield ``(ok, message)`` per check, comparing like with like."""
     if current.get("ops") != baseline.get("ops"):
@@ -122,6 +126,8 @@ def check(
             min_write_heavy_all_speedup,
             "write-heavy, all techniques",
         ),
+        ("replay_multifrontier", min_multifrontier_speedup, "multi-frontier"),
+        ("replay_cleaning", min_cleaning_speedup, "zoned cleaning"),
     ):
         entry = current.get("results", {}).get(name, {}).get("batch")
         if entry is not None:
@@ -305,6 +311,16 @@ def main(argv=None) -> int:
         default=DEFAULT_MIN_INGEST_PARALLEL_RATIO,
     )
     parser.add_argument(
+        "--min-multifrontier-speedup",
+        type=float,
+        default=DEFAULT_MIN_MULTIFRONTIER_SPEEDUP,
+    )
+    parser.add_argument(
+        "--min-cleaning-speedup",
+        type=float,
+        default=DEFAULT_MIN_CLEANING_SPEEDUP,
+    )
+    parser.add_argument(
         "--serving",
         default=None,
         metavar="FILE",
@@ -371,6 +387,8 @@ def main(argv=None) -> int:
         min_write_heavy_all_speedup=args.min_write_heavy_all_speedup,
         min_cold_jobs_speedup=args.min_cold_jobs_speedup,
         min_ingest_parallel_ratio=args.min_ingest_parallel_ratio,
+        min_multifrontier_speedup=args.min_multifrontier_speedup,
+        min_cleaning_speedup=args.min_cleaning_speedup,
     ):
         print(("ok   " if ok else "FAIL ") + message)
         failed += 0 if ok else 1

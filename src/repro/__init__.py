@@ -41,6 +41,7 @@ from repro.core import (
     InPlaceTranslator,
     LogStructuredTranslator,
     DefragConfig,
+    MultiFrontierConfig,
     PrefetchConfig,
     SelectiveCacheConfig,
     Simulator,
@@ -65,6 +66,7 @@ __all__ = [
     "InPlaceTranslator",
     "LogStructuredTranslator",
     "DefragConfig",
+    "MultiFrontierConfig",
     "PrefetchConfig",
     "SelectiveCacheConfig",
     "Simulator",

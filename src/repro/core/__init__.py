@@ -27,9 +27,11 @@ from repro.core.errors import (
 from repro.core.simulator import RetryPolicy, RunResult, Simulator, replay
 from repro.core.batch import (
     BatchRunResult,
+    BatchSupport,
     BatchUnsupportedError,
     batch_replay,
     batch_replay_translator,
+    batch_support,
     supports_batch,
 )
 from repro.core.stream import (
@@ -54,9 +56,14 @@ from repro.core.recorders import (
     FragmentationRecorder,
 )
 from repro.core.metrics import SeekAmplification, seek_amplification, time_amplification
-from repro.core.cleaning import CleaningStats, ZonedCleaningTranslator
+from repro.core.cleaning import (
+    CLEANING_POLICIES,
+    CleaningStats,
+    ZonedCleaningTranslator,
+)
 from repro.core.multifrontier import MultiFrontierTranslator, RecencyClassifier
 from repro.core.config import (
+    MultiFrontierConfig,
     TechniqueConfig,
     build_translator,
     NOLS,
@@ -88,9 +95,11 @@ __all__ = [
     "Simulator",
     "replay",
     "BatchRunResult",
+    "BatchSupport",
     "BatchUnsupportedError",
     "batch_replay",
     "batch_replay_translator",
+    "batch_support",
     "supports_batch",
     "FragmentStream",
     "StreamRunResult",
@@ -116,10 +125,12 @@ __all__ = [
     "SeekAmplification",
     "seek_amplification",
     "time_amplification",
+    "CLEANING_POLICIES",
     "CleaningStats",
     "ZonedCleaningTranslator",
     "MultiFrontierTranslator",
     "RecencyClassifier",
+    "MultiFrontierConfig",
     "TechniqueConfig",
     "build_translator",
     "NOLS",

@@ -4,10 +4,11 @@ The paper's evaluation uses an infinite disk ("for archival workloads
 cleaning may never be needed", §II) — but a deployable SMR translation
 layer eventually fills its zones and must garbage-collect.  This module
 provides that substrate: a log-structured translator whose log lives in
-SMR zones (:class:`~repro.disk.zones.ZonedAddressSpace`), with greedy
-(least-valid-first) zone cleaning, so write amplification and seek
-amplification can be studied *jointly* — the trade-off Fig. 11 and the
-media-cache baseline only bracket from either side.
+SMR zones (:class:`~repro.disk.zones.ZonedAddressSpace`), with a
+selectable victim policy — greedy (least-valid-first) or LFS-style
+cost-benefit — so write amplification and seek amplification can be
+studied *jointly*: the trade-off Fig. 11 and the media-cache baseline
+only bracket from either side.
 
 Layout: logical space ``[0, frontier_base)`` doubles as the identity
 region for pre-trace data (as in the infinite model); the log occupies
@@ -15,20 +16,34 @@ region for pre-trace data (as in the infinite model); the log occupies
 starts when free zones fall to ``reserve_zones`` and relocates the
 victim's live data to the current frontier (paying the same seeks any
 other I/O pays), then resets the victim.
+
+Per-zone live-sector accounting lives in a numpy
+:class:`~repro.extentmap.live_counts.ZoneLiveCounts` array so both this
+reference path and the batch kernel (:mod:`repro.core.batch`) share one
+bookkeeping structure, and victim selection is a masked reduction over
+the array.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.outcomes import AccessSource, IOOutcome, SegmentAccess
 from repro.core.translators import Translator
 from repro.disk.zones import SequentialZoneError, Zone, ZonedAddressSpace
 from repro.extentmap.base import AddressMap
 from repro.extentmap.extent_map import ExtentMap
+from repro.extentmap.live_counts import ZoneLiveCounts
 from repro.trace.record import IORequest
 from repro.util.units import mib_to_sectors
+
+#: Victim-selection policies (the ``policy=`` constructor argument).
+CLEANING_POLICIES = ("greedy", "cost_benefit")
+
+_INT64_MAX = np.iinfo(np.int64).max
 
 
 @dataclass
@@ -56,15 +71,6 @@ class CleaningStats:
         return self.cleaning_read_seeks + self.cleaning_write_seeks
 
 
-@dataclass
-class _ZoneLedger:
-    """Per-zone bookkeeping: what was appended, and how much is live."""
-
-    live_sectors: int = 0
-    entries: List[Tuple[int, int, int]] = field(default_factory=list)
-    """(pba, lba, length) in append order; superseded parts detected lazily."""
-
-
 class ZonedCleaningTranslator(Translator):
     """Log-structured translation over a finite set of SMR zones.
 
@@ -76,6 +82,12 @@ class ZonedCleaningTranslator(Translator):
             can be written between cleanings.
         reserve_zones: Cleaning starts when free zones drop to this count
             (must be >= 1 so a cleaning destination always exists).
+        policy: Victim selection — ``"greedy"`` takes the closed zone
+            with the least live data; ``"cost_benefit"`` maximizes the
+            LFS score ``(1-u)·age/(1+u)`` (utilization ``u`` = live
+            fraction, ``age`` = appends since the zone was last written),
+            which prefers old, mostly-dead zones over young ones still
+            being invalidated.
     """
 
     def __init__(
@@ -85,6 +97,7 @@ class ZonedCleaningTranslator(Translator):
         n_zones: int = 16,
         reserve_zones: int = 2,
         address_map: Optional[AddressMap] = None,
+        policy: str = "greedy",
     ) -> None:
         super().__init__()
         if frontier_base < 0:
@@ -95,17 +108,30 @@ class ZonedCleaningTranslator(Translator):
             raise ValueError(
                 f"n_zones ({n_zones}) must exceed reserve_zones ({reserve_zones})"
             )
+        if policy not in CLEANING_POLICIES:
+            raise ValueError(
+                f"unknown cleaning policy {policy!r}; choose from "
+                f"{CLEANING_POLICIES}"
+            )
         zone_sectors = mib_to_sectors(zone_mib)
         self._base = frontier_base
         self._zones = ZonedAddressSpace(zone_sectors=zone_sectors, n_zones=n_zones)
         self._map = address_map if address_map is not None else ExtentMap()
         self._reserve = reserve_zones
-        self._ledgers: Dict[int, _ZoneLedger] = {
-            z.zone_id: _ZoneLedger() for z in self._zones.zones
-        }
+        self._policy = policy
+        self._live = ZoneLiveCounts(zone_sectors=zone_sectors, n_zones=n_zones)
+        self._entries: List[List[Tuple[int, int, int]]] = [
+            [] for _ in range(n_zones)
+        ]
+        """Per-zone (pba, lba, length) appends in order; superseded parts
+        detected lazily against the map (:meth:`_live_pieces`)."""
         self._open_order: List[int] = list(range(n_zones))  # allocation order
         self._open_idx = 0
         self._cleaning = False
+        #: Monotone append sequence; per-zone last-write stamps feed the
+        #: cost-benefit age term.
+        self._write_seq = 0
+        self._zone_write_seq = np.zeros(n_zones, dtype=np.int64)
         self.cleaning_stats = CleaningStats()
 
     # ------------------------------------------------------------------ #
@@ -113,6 +139,14 @@ class ZonedCleaningTranslator(Translator):
     @property
     def description(self) -> str:
         return "LS+cleaning"
+
+    @property
+    def frontier_base(self) -> int:
+        return self._base
+
+    @property
+    def policy(self) -> str:
+        return self._policy
 
     @property
     def zone_sectors(self) -> int:
@@ -126,10 +160,111 @@ class ZonedCleaningTranslator(Translator):
         return sum(1 for z in self._zones.zones if z.is_empty)
 
     def live_sectors(self) -> int:
-        return sum(ledger.live_sectors for ledger in self._ledgers.values())
+        return self._live.total()
 
     def address_map(self) -> AddressMap:
         return self._map
+
+    # ------------------------------------------------------------------ #
+    # Checkpointable state
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Complete mutable state of the translator, serializable.
+
+        Follows the :class:`~repro.core.translators.LogStructuredTranslator`
+        template: the extent map exports as three parallel int64 arrays;
+        zone write pointers, ledger entries, live counts, the allocation
+        order and the cleaning counters are plain scalars/lists.
+        """
+        if not hasattr(self._map, "extent_arrays"):
+            raise TypeError(
+                f"state_dict needs an address map with extent_arrays, "
+                f"got {type(self._map).__name__}"
+            )
+        map_lba, map_pba, map_length = self._map.extent_arrays()
+        stats = self.cleaning_stats
+        return {
+            "kind": "zoned-cleaning",
+            "frontier_base": self._base,
+            "zone_sectors": self._zones.zone_sectors,
+            "n_zones": len(self._zones.zones),
+            "reserve_zones": self._reserve,
+            "policy": self._policy,
+            "write_pointers": [z.write_pointer for z in self._zones.zones],
+            "entries": [
+                [list(entry) for entry in zone_entries]
+                for zone_entries in self._entries
+            ],
+            "live_counts": self._live.state_list(),
+            "open_order": list(self._open_order),
+            "open_idx": self._open_idx,
+            "write_seq": self._write_seq,
+            "zone_write_seq": [int(s) for s in self._zone_write_seq],
+            "cleaning_stats": {
+                "cleanings": stats.cleanings,
+                "relocated_sectors": stats.relocated_sectors,
+                "cleaning_read_seeks": stats.cleaning_read_seeks,
+                "cleaning_write_seeks": stats.cleaning_write_seeks,
+                "host_written_sectors": stats.host_written_sectors,
+                "zone_resets": stats.zone_resets,
+            },
+            "head_position": self._head.position,
+            "map_lba": map_lba,
+            "map_pba": map_pba,
+            "map_length": map_length,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto this translator.
+
+        The translator must have been built with the same layout and
+        policy as the snapshotted one; a mismatch raises rather than
+        corrupting the log.
+        """
+        if state.get("kind") != "zoned-cleaning":
+            raise ValueError(
+                f"not a zoned-cleaning translator state: {state.get('kind')!r}"
+            )
+        for name, ours in (
+            ("frontier_base", self._base),
+            ("zone_sectors", self._zones.zone_sectors),
+            ("n_zones", len(self._zones.zones)),
+            ("reserve_zones", self._reserve),
+            ("policy", self._policy),
+        ):
+            theirs = state[name]
+            if (theirs if name == "policy" else int(theirs)) != ours:
+                raise ValueError(
+                    f"layout mismatch restoring state: {name} is {ours!r} on "
+                    f"the translator but {theirs!r} in the snapshot"
+                )
+        self._map = type(self._map).from_extent_arrays(
+            state["map_lba"], state["map_pba"], state["map_length"]
+        )
+        for zone, pointer in zip(self._zones.zones, state["write_pointers"]):
+            zone.write_pointer = int(pointer)
+        self._entries = [
+            [tuple(int(v) for v in entry) for entry in zone_entries]
+            for zone_entries in state["entries"]
+        ]
+        self._live.load_state_list(state["live_counts"])
+        self._open_order = [int(z) for z in state["open_order"]]
+        self._open_idx = int(state["open_idx"])
+        self._write_seq = int(state["write_seq"])
+        self._zone_write_seq = np.asarray(state["zone_write_seq"], dtype=np.int64)
+        snapshot = state["cleaning_stats"]
+        self.cleaning_stats = CleaningStats(
+            cleanings=int(snapshot["cleanings"]),
+            relocated_sectors=int(snapshot["relocated_sectors"]),
+            cleaning_read_seeks=int(snapshot["cleaning_read_seeks"]),
+            cleaning_write_seeks=int(snapshot["cleaning_write_seeks"]),
+            host_written_sectors=int(snapshot["host_written_sectors"]),
+            zone_resets=int(snapshot["zone_resets"]),
+        )
+        head = state["head_position"]
+        self._head.restore_position(None if head is None else int(head))
+        self._cleaning = False
 
     # ------------------------------------------------------------------ #
 
@@ -209,9 +344,7 @@ class ZonedCleaningTranslator(Translator):
             if event.seek:
                 seeks += 1
             self._map.map_range(cursor_lba, self._base + pba, take)
-            ledger = self._ledgers[zone.zone_id]
-            ledger.live_sectors += take
-            ledger.entries.append((self._base + pba, cursor_lba, take))
+            self._note_append(zone.zone_id, self._base + pba, cursor_lba, take)
             accesses.append(
                 SegmentAccess(
                     pba=self._base + pba,
@@ -225,6 +358,13 @@ class ZonedCleaningTranslator(Translator):
             remaining -= take
         return accesses, seeks
 
+    def _note_append(self, zone_id: int, pba: int, lba: int, length: int) -> None:
+        """Ledger one appended piece (shared with the batch kernel)."""
+        self._live.add(zone_id, length)
+        self._entries[zone_id].append((pba, lba, length))
+        self._zone_write_seq[zone_id] = self._write_seq
+        self._write_seq += 1
+
     def _current_zone(self) -> Zone:
         """The zone the frontier writes into, advancing past full zones."""
         while self._open_idx < len(self._open_order):
@@ -235,7 +375,7 @@ class ZonedCleaningTranslator(Translator):
         raise SequentialZoneError("log out of zones despite cleaning reserve")
 
     def _ensure_room(self, length: int) -> None:
-        """Clean greedily until the write fits without exhausting reserves.
+        """Clean until the write fits without exhausting reserves.
 
         Relocation writes issued *by* cleaning bypass this check: the
         reserve zones exist precisely so a cleaning pass always has a
@@ -246,7 +386,7 @@ class ZonedCleaningTranslator(Translator):
         while self._writable_sectors() < length or self.free_zones() < self._reserve:
             victim = self._pick_victim()
             if victim is None or (
-                self._ledgers[victim].live_sectors >= self._zones.zone_sectors
+                self._live.get(victim) >= self._zones.zone_sectors
             ):
                 # Cleaning a fully-live zone frees nothing: the workload's
                 # live data exceeds the log's effective capacity.
@@ -259,20 +399,37 @@ class ZonedCleaningTranslator(Translator):
         return sum(z.remaining_sectors for z in self._zones.zones)
 
     def _pick_victim(self) -> Optional[int]:
-        """Greedy policy: the closed, non-empty zone with least live data."""
+        """Select the victim zone under the configured policy.
+
+        Candidates are non-empty zones other than the frontier zone; ties
+        break to the lowest zone id (``argmin``/``argmax`` take the first
+        extremal entry, matching a zone-id-ordered scan).
+        """
         frontier_zone = None
         if self._open_idx < len(self._open_order):
             zone = self._zones.zones[self._open_order[self._open_idx]]
             if not zone.is_full:
                 frontier_zone = zone.zone_id
-        candidates = [
-            z.zone_id
-            for z in self._zones.zones
-            if not z.is_empty and z.zone_id != frontier_zone
-        ]
-        if not candidates:
+        zones = self._zones.zones
+        eligible = np.fromiter(
+            (
+                not z.is_empty and z.zone_id != frontier_zone
+                for z in zones
+            ),
+            dtype=bool,
+            count=len(zones),
+        )
+        if not eligible.any():
             return None
-        return min(candidates, key=lambda zid: self._ledgers[zid].live_sectors)
+        counts = self._live.counts
+        if self._policy == "greedy":
+            keyed = np.where(eligible, counts, _INT64_MAX)
+            return int(keyed.argmin())
+        utilization = counts / float(self._zones.zone_sectors)
+        age = (self._write_seq - self._zone_write_seq).astype(np.float64)
+        score = (1.0 - utilization) * age / (1.0 + utilization)
+        score[~eligible] = -np.inf
+        return int(score.argmax())
 
     def _clean_zone(self, zone_id: int) -> None:
         """Relocate the victim's live extents to the frontier, then reset it.
@@ -287,23 +444,85 @@ class ZonedCleaningTranslator(Translator):
                 read_evt = self._head.access(pba, length)
                 if read_evt.seek:
                     self.cleaning_stats.cleaning_read_seeks += 1
-                _, seeks = self._append(lba, length)
+                seeks = self._relocate(pba, lba, length)
                 self.cleaning_stats.cleaning_write_seeks += seeks
                 self.cleaning_stats.relocated_sectors += length
         finally:
             self._cleaning = False
         self._zones.reset(zone_id)
-        self._ledgers[zone_id] = _ZoneLedger()
+        self._entries[zone_id] = []
+        self._live.reset(zone_id)
         self.cleaning_stats.zone_resets += 1
         self.cleaning_stats.cleanings += 1
         # Allocation order: the cleaned zone becomes writable again after
         # every currently queued zone.
         self._open_order.append(zone_id)
 
+    def _relocate(self, piece_pba: int, lba: int, length: int) -> int:
+        """Append one live piece at the frontier; returns the write-seek count.
+
+        :meth:`_append` minus two lookups it can prove redundant for a live
+        piece: ``_ensure_room`` is a no-op mid-cleaning (the reserve zones
+        are the destination), and ``_invalidate`` would look ``[lba,
+        lba+length)`` up in the map only to find the single segment
+        :meth:`_live_pieces` already identified — mapped contiguously at
+        exactly ``[piece_pba, piece_pba+length)`` — so the decrement is
+        issued directly.
+        """
+        self._live.decrement_range(piece_pba - self._base, length)
+        seeks = 0
+        remaining = length
+        cursor_lba = lba
+        while remaining:
+            zone = self._current_zone()
+            take = min(remaining, zone.remaining_sectors)
+            pba = zone.write_pointer
+            self._zones.write(pba, take)
+            event = self._head.access(self._base + pba, take)
+            if event.seek:
+                seeks += 1
+            self._map.map_range(cursor_lba, self._base + pba, take)
+            self._note_append(zone.zone_id, self._base + pba, cursor_lba, take)
+            cursor_lba += take
+            remaining -= take
+        return seeks
+
     def _live_pieces(self, zone_id: int) -> List[Tuple[int, int, int]]:
-        """(pba, lba, length) pieces of the zone still referenced by the map."""
+        """(pba, lba, length) pieces of the zone still referenced by the map.
+
+        On the array tier the whole ledger resolves in one
+        ``lookup_pieces_batch`` call; the scalar path below is the
+        executable specification (and the only path for plain
+        :class:`~repro.extentmap.extent_map.ExtentMap`).  Both emit pieces
+        in ledger order, then LBA order within an entry.
+        """
+        entries = self._entries[zone_id]
+        if not entries:
+            return []
+        batch_lookup = getattr(self._map, "lookup_pieces_batch", None)
+        if batch_lookup is not None:
+            n = len(entries)
+            e_pba = np.fromiter((e[0] for e in entries), dtype=np.int64, count=n)
+            e_lba = np.fromiter((e[1] for e in entries), dtype=np.int64, count=n)
+            e_len = np.fromiter((e[2] for e in entries), dtype=np.int64, count=n)
+            piece_pba, piece_len, hole, offsets = batch_lookup(e_lba, e_len)
+            query = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(offsets)
+            )
+            # Pieces tile each query contiguously from its start LBA.
+            cum = np.zeros(len(piece_len), dtype=np.int64)
+            np.cumsum(piece_len[:-1], out=cum[1:])
+            piece_lba = e_lba[query] + (cum - cum[offsets[:-1]][query])
+            keep = ~hole & (piece_pba == e_pba[query] + (piece_lba - e_lba[query]))
+            return list(
+                zip(
+                    piece_pba[keep].tolist(),
+                    piece_lba[keep].tolist(),
+                    piece_len[keep].tolist(),
+                )
+            )
         pieces: List[Tuple[int, int, int]] = []
-        for pba, lba, length in self._ledgers[zone_id].entries:
+        for pba, lba, length in entries:
             for segment in self._map.lookup(lba, length):
                 if segment.is_hole:
                     continue
@@ -317,17 +536,10 @@ class ZonedCleaningTranslator(Translator):
 
         A mapped segment may span a zone boundary (the extent map merges
         pieces that are contiguous in both LBA and PBA, and consecutive
-        zones are PBA-contiguous), so the decrement is split per zone.
+        zones are PBA-contiguous), so the decrement is split per zone
+        (:meth:`ZoneLiveCounts.decrement_range`).
         """
         for segment in self._map.lookup(lba, length):
             if segment.is_hole or segment.pba < self._base:
                 continue
-            pba = segment.pba - self._base
-            remaining = segment.length
-            while remaining:
-                zone = self._zones.zone_for(pba)
-                take = min(remaining, zone.end - pba)
-                ledger = self._ledgers[zone.zone_id]
-                ledger.live_sectors = max(0, ledger.live_sectors - take)
-                pba += take
-                remaining -= take
+            self._live.decrement_range(segment.pba - self._base, segment.length)

@@ -13,10 +13,49 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.core.defrag import DefragConfig, OpportunisticDefrag
+from repro.core.multifrontier import MultiFrontierTranslator, RecencyClassifier
 from repro.core.prefetch import LookAheadBehindPrefetcher, PrefetchConfig
 from repro.core.selective_cache import SelectiveCacheConfig, SelectiveFragmentCache
 from repro.core.translators import InPlaceTranslator, LogStructuredTranslator, Translator
 from repro.trace.trace import Trace
+from repro.util.units import mib_to_sectors
+
+
+@dataclass(frozen=True)
+class MultiFrontierConfig:
+    """Hot/cold-separated (WOLF-style) log placement settings.
+
+    Attaching this to a :class:`TechniqueConfig` swaps the single-frontier
+    :class:`LogStructuredTranslator` for a
+    :class:`~repro.core.multifrontier.MultiFrontierTranslator`: writes are
+    classified by recency and each class appends at its own frontier.
+
+    Attributes:
+        frontiers: Number of write frontiers (2 = the stock cold/hot
+            split; higher counts are the seam for K BIT-classified
+            frontiers, see ROADMAP item 2).
+        region_mib: Size of *each* frontier's log region, in MiB.
+        window: Recency window of the classifier, in distinct 4 KiB
+            blocks (:class:`~repro.core.multifrontier.RecencyClassifier`).
+        block_sectors: Classification granularity in sectors.
+    """
+
+    frontiers: int = 2
+    region_mib: float = 2048.0
+    window: int = 4096
+    block_sectors: int = 8
+
+    def __post_init__(self) -> None:
+        if self.frontiers < 2:
+            raise ValueError(f"frontiers must be >= 2, got {self.frontiers}")
+        if self.region_mib <= 0:
+            raise ValueError(f"region_mib must be > 0, got {self.region_mib}")
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if self.block_sectors < 1:
+            raise ValueError(
+                f"block_sectors must be >= 1, got {self.block_sectors}"
+            )
 
 
 @dataclass(frozen=True)
@@ -29,12 +68,17 @@ class TechniqueConfig:
         defrag: Opportunistic-defrag settings, or None to disable.
         prefetch: Look-ahead-behind settings, or None to disable.
         cache: Selective-cache settings, or None to disable.
+        multi_frontier: Hot/cold frontier separation settings, or None
+            for the single-frontier log.  Mutually exclusive with the
+            three seek-reduction techniques (the multi-frontier
+            translator has no technique hooks).
         fast: Prefer the vectorized batch kernel
             (:mod:`repro.core.batch`) when replaying this configuration
             through :func:`repro.experiments.common.replay_with`.  The
             kernel is exact (differential-suite pinned), so results are
             unchanged; replays needing recorders fall back to the
-            reference simulator automatically.
+            reference simulator — visibly, via the fallback counters in
+            :mod:`repro.experiments.common`.
     """
 
     name: str
@@ -42,6 +86,7 @@ class TechniqueConfig:
     defrag: Optional[DefragConfig] = None
     prefetch: Optional[PrefetchConfig] = None
     cache: Optional[SelectiveCacheConfig] = None
+    multi_frontier: Optional[MultiFrontierConfig] = None
     fast: bool = False
 
 
@@ -103,6 +148,23 @@ def build_translator_for_base(
         return InPlaceTranslator()
     from repro.extentmap.tiers import make_address_map
 
+    if config.multi_frontier is not None:
+        if config.defrag or config.prefetch or config.cache:
+            raise ValueError(
+                f"config {config.name!r}: multi_frontier cannot be combined "
+                "with defrag/prefetch/cache (the multi-frontier translator "
+                "has no technique hooks)"
+            )
+        mf = config.multi_frontier
+        return MultiFrontierTranslator(
+            frontier_base=frontier_base,
+            region_sectors=mib_to_sectors(mf.region_mib),
+            classifier=RecencyClassifier(
+                window=mf.window, block_sectors=mf.block_sectors
+            ),
+            address_map=make_address_map(address_map_tier),
+            n_frontiers=mf.frontiers,
+        )
     return LogStructuredTranslator(
         frontier_base=frontier_base,
         address_map=make_address_map(address_map_tier),
@@ -126,6 +188,9 @@ def config_to_dict(config: TechniqueConfig) -> dict:
         "defrag": asdict(config.defrag) if config.defrag else None,
         "prefetch": asdict(config.prefetch) if config.prefetch else None,
         "cache": asdict(config.cache) if config.cache else None,
+        "multi_frontier": (
+            asdict(config.multi_frontier) if config.multi_frontier else None
+        ),
         "fast": config.fast,
     }
 
@@ -138,5 +203,10 @@ def config_from_dict(data: dict) -> TechniqueConfig:
         defrag=DefragConfig(**data["defrag"]) if data.get("defrag") else None,
         prefetch=PrefetchConfig(**data["prefetch"]) if data.get("prefetch") else None,
         cache=SelectiveCacheConfig(**data["cache"]) if data.get("cache") else None,
+        multi_frontier=(
+            MultiFrontierConfig(**data["multi_frontier"])
+            if data.get("multi_frontier")
+            else None
+        ),
         fast=bool(data.get("fast", False)),
     )

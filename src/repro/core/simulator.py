@@ -160,19 +160,31 @@ def replay(
     With ``fast=True`` the replay is dispatched to the vectorized batch
     kernel (:mod:`repro.core.batch`), which produces bit-identical results
     and leaves ``translator`` in the identical final state.  The fast path
-    silently falls back to the reference simulator when it cannot apply:
-    recorders or a retry policy are present (they need per-op outcomes),
-    or the translator type has no kernel (cleaning, multi-frontier, fault
-    wrappers).
+    falls back to the reference simulator when it cannot apply — recorders
+    or a retry policy are present (they need per-op outcomes), or the
+    translator type has no kernel (fault wrappers, media-cache STL) — and
+    tallies the reason via
+    :func:`repro.experiments.common.note_reference_fallback` so ``--fast``
+    runs can report the downgrade instead of hiding it.
     """
     recorders = list(recorders)
-    if fast and not recorders and retry_policy is None:
-        from repro.core.batch import BatchUnsupportedError, batch_replay_translator
+    if fast:
+        from repro.experiments.common import note_reference_fallback
 
-        try:
-            return batch_replay_translator(trace, translator).run_result
-        except BatchUnsupportedError:
-            pass
+        if recorders:
+            note_reference_fallback("recorders")
+        elif retry_policy is not None:
+            note_reference_fallback("retry-policy")
+        else:
+            from repro.core.batch import (
+                BatchUnsupportedError,
+                batch_replay_translator,
+            )
+
+            try:
+                return batch_replay_translator(trace, translator).run_result
+            except BatchUnsupportedError as exc:
+                note_reference_fallback(exc.reason)
     return Simulator(
         recorders=recorders, retry_policy=retry_policy
     ).run(trace, translator)

@@ -98,13 +98,15 @@ def supports_stream(config: TechniqueConfig) -> bool:
 
     The stream kernels require a layout identical to plain LS, so any
     log-structured configuration *without* defrag qualifies: plain LS,
-    LS+prefetch, LS+cache and LS+prefetch+cache.  NoLS (different layout)
-    and defrag configurations (layout-mutating) do not.
+    LS+prefetch, LS+cache and LS+prefetch+cache.  NoLS (different
+    layout), defrag configurations (layout-mutating) and multi-frontier
+    configurations (per-class placement) do not.
     """
     return (
         isinstance(config, TechniqueConfig)
         and config.log_structured
         and config.defrag is None
+        and config.multi_frontier is None
     )
 
 

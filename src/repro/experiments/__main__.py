@@ -97,7 +97,9 @@ def main(argv=None) -> int:
         "--fast",
         action="store_true",
         help="replay through the vectorized batch kernels (exact; replays "
-        "needing recorders fall back to the reference path automatically)",
+        "the kernels cannot serve fall back to the reference path, "
+        "reported per exhibit as '(fallback) <count>x <reason>' lines and "
+        "a 'fallbacks' key in the run.json manifest)",
     )
     parser.add_argument(
         "--trace-store",

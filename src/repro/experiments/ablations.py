@@ -32,11 +32,31 @@ from repro.core.prefetch import PrefetchConfig
 from repro.core.selective_cache import SelectiveCacheConfig
 from repro.core.simulator import replay
 from repro.core.translators import LogStructuredTranslator
-from repro.experiments.common import save_json
+from repro.experiments.common import fast_replay_default, save_json
 from repro.experiments.render import format_table
 from repro.experiments.sweep import SweepEngine, sweep_engine
+from repro.extentmap.tiers import DEFAULT_KERNEL_TIER, make_address_map, resolve_map_tier
 from repro.util.units import mib_to_sectors
 from repro.workloads import ReadMix, WorkloadSpec, WriteMix, generate_workload
+
+
+def _ablation_replay(trace, translator):
+    """Replay a hand-built ablation translator via the cheapest exact path.
+
+    The finite-log ablations construct their translators directly (they
+    sweep constructor knobs no :class:`TechniqueConfig` exposes), so they
+    bypass the sweep engine's dispatch.  Under the process-wide ``--fast``
+    default this routes the replay through the matching batch kernel —
+    exact, so exhibit JSON stays byte-identical to a reference run — and
+    falls back (tallied by reason) where no kernel applies.
+    """
+    return replay(trace, translator, fast=fast_replay_default())
+
+
+def _ablation_map():
+    """Extent map for an ablation translator (array tier under ``--fast``)."""
+    tier = resolve_map_tier(DEFAULT_KERNEL_TIER) if fast_replay_default() else None
+    return make_address_map(tier)
 
 
 def _sweep_safs(
@@ -176,7 +196,7 @@ def run_cleaning(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = No
     model sidesteps.
     """
     trace = _overwrite_workload(seed, scale)
-    baseline = replay(trace, build_translator(trace, NOLS)).stats
+    baseline = _ablation_replay(trace, build_translator(trace, NOLS)).stats
     data = {}
     rows = []
     for n_zones in (12, 16, 24, 40):
@@ -185,8 +205,9 @@ def run_cleaning(seed: int = 42, scale: float = 1.0, out_dir: Optional[str] = No
             zone_mib=1.0,
             n_zones=n_zones,
             reserve_zones=2,
+            address_map=_ablation_map(),
         )
-        stats = replay(trace, translator).stats
+        stats = _ablation_replay(trace, translator).stats
         cs = translator.cleaning_stats
         total = stats.total_seeks + cs.cleaning_seeks
         over = n_zones * 1.0 / 8.0  # log capacity / workload LBA space
@@ -226,16 +247,19 @@ def run_multifrontier(
 ) -> dict:
     """Single vs WOLF-style dual frontier on a hot/cold mixed workload."""
     trace = sweep_engine(seed, scale).trace("w91")
-    baseline = replay(trace, build_translator(trace, NOLS)).stats
+    baseline = _ablation_replay(trace, build_translator(trace, NOLS)).stats
 
-    single = LogStructuredTranslator(frontier_base=trace.max_end)
-    single_stats = replay(trace, single).stats
+    single = LogStructuredTranslator(
+        frontier_base=trace.max_end, address_map=_ablation_map()
+    )
+    single_stats = _ablation_replay(trace, single).stats
 
     dual = MultiFrontierTranslator(
         frontier_base=trace.max_end,
         region_sectors=mib_to_sectors(2048),
+        address_map=_ablation_map(),
     )
-    dual_stats = replay(trace, dual).stats
+    dual_stats = _ablation_replay(trace, dual).stats
 
     data = {
         "single": {

@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
-from repro.core.batch import batch_replay
+from repro.core.batch import BatchUnsupportedError, batch_replay
 from repro.core.config import TechniqueConfig, build_translator
 from repro.core.recorders import Recorder
 from repro.core.simulator import RetryPolicy, RunResult, Simulator
@@ -135,6 +135,29 @@ def fast_replay_default() -> bool:
     return _fast_replay_default
 
 
+_fallback_counts: Dict[str, int] = {}
+
+
+def note_reference_fallback(reason: str) -> None:
+    """Record one fast-path request served by the reference simulator.
+
+    ``reason`` is the structured tag naming the feature that forced the
+    fallback (:attr:`~repro.core.batch.BatchUnsupportedError.reason`, or
+    ``"recorders"`` / ``"retry-policy"`` for replay-call features the
+    kernels never see).  The exhibit runner drains the per-process counts
+    into the run manifest so a ``--fast`` run shows *where* it silently
+    ran at reference speed.
+    """
+    _fallback_counts[reason] = _fallback_counts.get(reason, 0) + 1
+
+
+def drain_fallback_counts() -> Dict[str, int]:
+    """Return and clear the per-reason reference-fallback counts."""
+    global _fallback_counts
+    counts, _fallback_counts = _fallback_counts, {}
+    return counts
+
+
 def replay_with(
     trace: Trace,
     config: TechniqueConfig,
@@ -149,13 +172,22 @@ def replay_with(
     process-wide default set by :func:`set_fast_replay`.  The kernel is
     exact, and replays it cannot serve — recorders attached, or a
     ``retry_policy`` (the kernel never injects faults) — fall back to the
-    reference simulator automatically, so enabling it never changes
-    results.
+    reference simulator, so enabling it never changes results; each
+    fallback is tallied by reason (:func:`note_reference_fallback`) so
+    ``--fast`` runs surface where they ran at reference speed.
     """
     if fast is None:
         fast = config.fast or _fast_replay_default
-    if fast and not recorders and retry_policy is None:
-        return batch_replay(trace, config).run_result
+    if fast:
+        if recorders:
+            note_reference_fallback("recorders")
+        elif retry_policy is not None:
+            note_reference_fallback("retry-policy")
+        else:
+            try:
+                return batch_replay(trace, config).run_result
+            except BatchUnsupportedError as exc:
+                note_reference_fallback(exc.reason)
     translator = build_translator(trace, config)
     return Simulator(
         recorders=list(recorders), retry_policy=retry_policy

@@ -236,13 +236,19 @@ class RunManifest:
         fingerprint: str,
         duration_s: float,
         error: Optional[str] = None,
+        fallbacks: Optional[Dict[str, int]] = None,
     ) -> None:
-        self.exhibits[name] = {
+        entry = {
             "status": status,
             "fingerprint": fingerprint,
             "duration_s": round(duration_s, 3),
             "error": error,
         }
+        if fallbacks:
+            # Per-reason counts of replays a --fast run served through the
+            # reference simulator (see repro.experiments.common).
+            entry["fallbacks"] = dict(fallbacks)
+        self.exhibits[name] = entry
         self.save()
 
     def completed_ok(self, name: str, fingerprint: str) -> bool:
@@ -294,19 +300,35 @@ def _json_dump_valid(path: Path) -> bool:
         return False
 
 
+def format_fallbacks(fallbacks: Dict[str, int]) -> str:
+    """Render per-reason reference-fallback counts for CLI output.
+
+    ``{"recorders": 3, "translator FaultyTranslator": 1}`` becomes
+    ``"3x recorders, 1x translator FaultyTranslator"`` (descending count,
+    then reason, so the dominant downgrade leads the line).
+    """
+    ordered = sorted(fallbacks.items(), key=lambda item: (-item[1], item[0]))
+    return ", ".join(f"{count}x {reason}" for reason, count in ordered)
+
+
 def _pool_worker(
     task: Tuple[
         str, Optional[str], int, float, Optional[str], Optional[str],
         Optional[float], bool, Optional[str], Optional[str],
     ],
-) -> Tuple[str, Optional[str], str, float, Optional[str], List[str], str, Optional[dict]]:
+) -> Tuple[
+    str, Optional[str], str, float, Optional[str], List[str], str,
+    Optional[dict], Dict[str, int],
+]:
     """Run one scheduling unit (whole exhibit or one shard) in a worker.
 
     Returns ``(name, shard, status, duration_s, error, svg_paths,
-    captured_stdout, payload)``; ``payload`` is the shard's picklable
-    result (None for whole exhibits, whose JSON the worker writes
-    itself).  Never raises: every failure mode is folded into the status
-    so the parent keeps its single-writer control of the manifest.
+    captured_stdout, payload, fallbacks)``; ``payload`` is the shard's
+    picklable result (None for whole exhibits, whose JSON the worker
+    writes itself) and ``fallbacks`` the per-reason reference-fallback
+    counts the unit accrued under ``--fast`` (empty otherwise).  Never
+    raises: every failure mode is folded into the status so the parent
+    keeps its single-writer control of the manifest.
     """
     (
         name, shard, seed, scale, out_dir, svg_dir, timeout_s, fast,
@@ -343,7 +365,7 @@ def _pool_worker(
         status, error = STATUS_FAILED, traceback.format_exc()
     return (
         name, shard, status, time.time() - start, error, svg_paths,
-        captured.getvalue(), payload,
+        captured.getvalue(), payload, common.drain_fallback_counts(),
     )
 
 
@@ -390,6 +412,10 @@ def _ingest_worker(
         status, error = STATUS_TIMEOUT, str(exc)
     except BaseException:
         status, error = STATUS_FAILED, traceback.format_exc()
+    # Discard fallback tallies accrued while priming: counts are
+    # attributed per exhibit, and this worker process may run an exhibit
+    # unit next.
+    common.drain_fallback_counts()
     return (_INGEST, workload, status, time.time() - start, error)
 
 
@@ -584,20 +610,26 @@ def _run_pending_parallel(
 
     shard_payloads: Dict[str, Dict[str, dict]] = {n: {} for n in shard_map}
     shard_durations: Dict[str, float] = {n: 0.0 for n in shard_map}
+    shard_fallbacks: Dict[str, Dict[str, int]] = {n: {} for n in shard_map}
     shard_failures: Dict[str, Tuple[str, Optional[str]]] = {}
     results: Dict[str, ExhibitOutcome] = {}
     abort = False
 
-    def record(name, status, duration, error, svg_paths, output):
+    def record(name, status, duration, error, svg_paths, output, fallbacks=None):
         nonlocal abort
         if manifest is not None:
-            manifest.mark_done(name, status, fingerprints[name], duration, error)
+            manifest.mark_done(
+                name, status, fingerprints[name], duration, error,
+                fallbacks=fallbacks,
+            )
         results[name] = ExhibitOutcome(name, status, duration, error)
         echo(f"=== {name} " + "=" * max(0, 66 - len(name)))
         if output.rstrip():
             echo(output.rstrip())
         for path in svg_paths:
             echo(f"(svg) {path}")
+        if fallbacks:
+            echo(f"(fallback) {format_fallbacks(fallbacks)}")
         if status == STATUS_OK:
             echo(f"--- {name} done in {duration:.1f}s\n")
         else:
@@ -626,15 +658,23 @@ def _run_pending_parallel(
         except Exception:
             status, error = STATUS_FAILED, traceback.format_exc()
         duration = shard_durations[name] + (time.time() - start)
-        record(name, status, duration, error, svg_paths, captured.getvalue())
+        record(name, status, duration, error, svg_paths, captured.getvalue(),
+               fallbacks=shard_fallbacks[name])
 
     def absorb(result):
         """Fold one worker result into exhibit-level bookkeeping."""
-        name, shard, status, duration, error, svg_paths, output, payload = result
+        (
+            name, shard, status, duration, error, svg_paths, output, payload,
+            fallbacks,
+        ) = result
         if shard is None:
-            record(name, status, duration, error, svg_paths, output)
+            record(name, status, duration, error, svg_paths, output,
+                   fallbacks=fallbacks)
             return
         shard_durations[name] += duration
+        for reason, count in fallbacks.items():
+            bucket = shard_fallbacks[name]
+            bucket[reason] = bucket.get(reason, 0) + count
         if name in results:
             return  # exhibit already failed on an earlier shard
         if status != STATUS_OK:
@@ -642,7 +682,8 @@ def _run_pending_parallel(
                 shard_failures[name] = (status, f"shard {shard}: {error}")
                 failure_status, failure_error = shard_failures[name]
                 record(name, failure_status, shard_durations[name],
-                       failure_error, [], output)
+                       failure_error, [], output,
+                       fallbacks=shard_fallbacks[name])
             return
         shard_payloads[name][shard] = payload
         if len(shard_payloads[name]) == len(shard_map[name]):
@@ -865,6 +906,7 @@ def run_exhibits(
         common.set_trace_store(trace_store)
     if stream_store is not None:
         common.set_stream_store(stream_store)
+    common.drain_fallback_counts()  # attribute counts per exhibit, not run
     outcomes: List[ExhibitOutcome] = []
     try:
         with run_signal_handlers():
@@ -910,10 +952,16 @@ def run_exhibits(
                 except Exception:
                     status, error = STATUS_FAILED, traceback.format_exc()
                 duration = time.time() - start
+                fallbacks = common.drain_fallback_counts()
 
                 if manifest is not None:
-                    manifest.mark_done(name, status, fingerprint, duration, error)
+                    manifest.mark_done(
+                        name, status, fingerprint, duration, error,
+                        fallbacks=fallbacks,
+                    )
                 outcomes.append(ExhibitOutcome(name, status, duration, error))
+                if fallbacks:
+                    echo(f"(fallback) {format_fallbacks(fallbacks)}")
                 if status == STATUS_OK:
                     echo(f"--- {name} done in {duration:.1f}s\n")
                 else:

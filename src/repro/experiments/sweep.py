@@ -48,7 +48,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.batch import batch_replay, supports_batch
+from repro.core.batch import batch_replay, batch_support
 from repro.core.config import NOLS, TechniqueConfig
 from repro.core.metrics import SeekAmplification, seek_amplification
 from repro.core.outcomes import SimStats
@@ -63,7 +63,12 @@ from repro.core.stream import (
     supports_cache_sweep,
     supports_stream,
 )
-from repro.experiments.common import fast_replay_default, replay_with, workload_trace
+from repro.experiments.common import (
+    fast_replay_default,
+    note_reference_fallback,
+    replay_with,
+    workload_trace,
+)
 from repro.trace.trace import Trace
 
 
@@ -214,8 +219,10 @@ class SweepEngine:
             return replay_with(trace, config, fast=False)
         if supports_stream(config):
             return stream_replay(self.stream_for(trace), config).run_result
-        if supports_batch(config):
+        support = batch_support(config)
+        if support:
             return batch_replay(trace, config).run_result
+        note_reference_fallback(support.reason)
         return replay_with(trace, config, fast=False)
 
     def sweep(

@@ -29,6 +29,7 @@ from repro.extentmap.extent import Extent
 from repro.extentmap.extent_map import ExtentMap
 from repro.extentmap.array_map import ArrayExtentMap
 from repro.extentmap.block_map import BlockMap
+from repro.extentmap.live_counts import ZoneLiveCounts
 from repro.extentmap.tiers import (
     DEFAULT_KERNEL_TIER,
     DEFAULT_REFERENCE_TIER,
@@ -45,6 +46,7 @@ __all__ = [
     "ExtentMap",
     "ArrayExtentMap",
     "BlockMap",
+    "ZoneLiveCounts",
     "make_address_map",
     "resolve_map_tier",
     "MAP_TIERS",

@@ -9,7 +9,9 @@ the final extent-map state, the write frontier and the head position.
 
 from __future__ import annotations
 
-from repro.core.batch import batch_replay
+import numpy as np
+
+from repro.core.batch import DEFAULT_CHUNK_OPS, batch_replay, batch_replay_translator
 from repro.core.config import TechniqueConfig, build_translator
 from repro.core.recorders import SeekLogRecorder
 from repro.core.simulator import Simulator
@@ -20,6 +22,76 @@ from repro.trace.trace import Trace
 def map_snapshot(translator) -> list:
     """The extent map as comparable (lba, pba, length) tuples."""
     return [(e.lba, e.pba, e.length) for e in translator.address_map]
+
+
+def normalized(value):
+    """State-dict value with numpy containers collapsed to plain Python.
+
+    ``state_dict()`` mixes plain scalars/lists with int64 arrays (the
+    extent-map export); comparing two snapshots element-wise needs both
+    sides in one representation.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, dict):
+        return {key: normalized(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [normalized(item) for item in value]
+    return value
+
+
+def assert_translator_matches_reference(
+    trace: Trace,
+    make_translator,
+    make_batch_translator=None,
+    chunk_ops: int = DEFAULT_CHUNK_OPS,
+) -> None:
+    """Replay ``trace`` through two identically-constructed translators —
+    reference :class:`Simulator` vs :func:`batch_replay_translator` — and
+    demand exactness.
+
+    This is the translator-level twin of
+    :func:`assert_batch_matches_reference` for translators with their own
+    kernels but no :class:`TechniqueConfig` spelling of every knob
+    (multi-frontier, zoned cleaning).  Beyond stats/distances/directions,
+    the *complete checkpoint state* (``state_dict()``) must agree: for the
+    cleaning translator that pins the zone ledger, live counts, allocation
+    order and cleaning counters; for multi-frontier the per-frontier
+    cursors, write tallies and classifier recency set.
+
+    ``make_batch_translator`` defaults to ``make_translator``; pass a
+    different factory to drive the kernel on another (exact) extent-map
+    tier than the reference.
+    """
+    reference_translator = make_translator()
+    recorder = SeekLogRecorder()
+    reference = Simulator(recorders=[recorder]).run(trace, reference_translator)
+
+    batch_translator = (make_batch_translator or make_translator)()
+    batch = batch_replay_translator(trace, batch_translator, chunk_ops)
+
+    label = f"{trace.name}/{type(reference_translator).__name__}"
+    assert batch.run_result.trace_name == reference.trace_name, label
+    assert batch.run_result.translator == reference.translator, label
+    assert batch.stats == reference.stats, (
+        f"{label}: stats diverge\nreference={reference.stats}\nbatch={batch.stats}"
+    )
+    assert list(batch.distances) == recorder.distances, (
+        f"{label}: seek-distance logs diverge"
+    )
+    assert list(batch.distance_is_read) == [r.is_read for r in recorder.records], (
+        f"{label}: seek directions diverge"
+    )
+    ref_state = normalized(reference_translator.state_dict())
+    batch_state = normalized(batch_translator.state_dict())
+    assert batch_state.keys() == ref_state.keys(), label
+    for key in ref_state:
+        assert batch_state[key] == ref_state[key], (
+            f"{label}: state_dict[{key!r}] diverges\n"
+            f"reference={ref_state[key]!r}\nbatch={batch_state[key]!r}"
+        )
 
 
 def assert_batch_matches_reference(trace: Trace, config: TechniqueConfig) -> None:

@@ -133,12 +133,14 @@ def test_supports_batch_covers_every_stock_config():
 
 
 def test_unsupported_translator_is_refused():
-    from repro.core.cleaning import ZonedCleaningTranslator
+    from repro.core.translators import InPlaceTranslator
+    from repro.faults.transient import FaultyTranslator, TransientFaultConfig
 
     trace = _trace([IORequest.write(0, 8)])
-    translator = ZonedCleaningTranslator(frontier_base=64)
-    with pytest.raises(BatchUnsupportedError):
+    translator = FaultyTranslator(InPlaceTranslator(), TransientFaultConfig())
+    with pytest.raises(BatchUnsupportedError) as exc:
         batch_replay_translator(trace, translator)
+    assert exc.value.reason == "translator FaultyTranslator"
 
 
 def test_fast_replay_falls_back_when_recorders_present(traces):

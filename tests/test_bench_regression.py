@@ -103,6 +103,22 @@ def _write_heavy_report(ls_all=5.0, write_heavy=6.0, write_heavy_all=6.0, **kwar
     return report
 
 
+def _finite_log_report(multifrontier=8.0, cleaning=7.0, **kwargs):
+    report = _report(**kwargs)
+    for name, speedup in (
+        ("replay_multifrontier", multifrontier),
+        ("replay_cleaning", cleaning),
+    ):
+        report["results"][name] = {
+            "reference": {"seconds": 10.0},
+            "batch": {
+                "seconds": round(10.0 / speedup, 4),
+                "speedup_vs_reference": speedup,
+            },
+        }
+    return report
+
+
 def _ingest_parallel_report(ratio=0.9, **kwargs):
     report = _report(**kwargs)
     report["results"]["ingest_cold_parallel"] = {
@@ -343,6 +359,45 @@ class TestWriteHeavyGates:
         assert all(ok for ok, _ in verdicts)
 
 
+class TestFiniteLogGates:
+    """The finite-log kernel gates (multi-frontier and zoned cleaning)
+    engage only when the report carries the entries."""
+
+    def test_report_without_entries_emits_no_gate(self):
+        verdicts = _verdicts(_report(), _report())
+        assert not any("replay_multifrontier" in m for _, m in verdicts)
+        assert not any("replay_cleaning" in m for _, m in verdicts)
+
+    def test_healthy_report_passes_both(self):
+        verdicts = _verdicts(_finite_log_report(), _finite_log_report())
+        assert all(ok for ok, _ in verdicts)
+        for name in ("replay_multifrontier", "replay_cleaning"):
+            assert any(name in m and "speedup" in m for _, m in verdicts), name
+
+    def test_each_floor_fails_independently(self):
+        for kwargs, needle in (
+            ({"multifrontier": 4.9}, "replay_multifrontier"),
+            ({"cleaning": 4.9}, "replay_cleaning"),
+        ):
+            verdicts = _verdicts(_finite_log_report(**kwargs), _finite_log_report())
+            failures = [m for ok, m in verdicts if not ok]
+            assert any(needle in m for m in failures), (kwargs, failures)
+
+    def test_custom_floors_are_respected(self):
+        report = _finite_log_report(multifrontier=2.0, cleaning=2.0)
+        verdicts = list(
+            check_regression.check(
+                report,
+                report,
+                0.2,
+                1.5,
+                min_multifrontier_speedup=1.5,
+                min_cleaning_speedup=1.5,
+            )
+        )
+        assert all(ok for ok, _ in verdicts)
+
+
 class TestIngestParallelGate:
     """The parallel-ingestion ratio gate bounds pool overhead; it engages
     only when the report carries an ``ingest_cold_parallel`` entry."""
@@ -418,6 +473,10 @@ class TestMain:
             results["replay_ls_write_heavy_all"]["batch"]["speedup_vs_reference"]
             >= 4.0
         )
+        assert (
+            results["replay_multifrontier"]["batch"]["speedup_vs_reference"] >= 5.0
+        )
+        assert results["replay_cleaning"]["batch"]["speedup_vs_reference"] >= 5.0
         assert results["jobs_scaling"]["cold_jobs4"]["speedup_vs_reference"] >= 1.8
         assert (
             results["ingest_cold_parallel"]["jobs4"]["speedup_vs_reference"] >= 0.6

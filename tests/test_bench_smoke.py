@@ -23,6 +23,8 @@ EXPECTED_BENCHMARKS = (
     "replay_ls_all",
     "replay_ls_write_heavy",
     "replay_ls_write_heavy_all",
+    "replay_multifrontier",
+    "replay_cleaning",
     "sweep_fig11",
     "sweep_cache_ablation",
     "ingest_msr",
@@ -38,6 +40,8 @@ FAST_SIDES = {
     "replay_ls_all": ("batch",),
     "replay_ls_write_heavy": ("batch",),
     "replay_ls_write_heavy_all": ("batch",),
+    "replay_multifrontier": ("batch",),
+    "replay_cleaning": ("batch",),
     "sweep_fig11": ("sweep",),
     "sweep_cache_ablation": ("sweep",),
     "ingest_msr": ("columnar", "warm_store"),
